@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 10 (fast-rerouting case study)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10
+
+
+def test_fig10_fast_rerouting(benchmark, save_artifact):
+    result = benchmark.pedantic(fig10.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    save_artifact("fig10_rerouting", fig10.render(result))
+
+    cases = result["cases"]
+    # Every case — dedicated or tree, 10 % or blackhole — recovers.
+    for name, case in cases.items():
+        assert case["recovery_delay"] is not None, f"{name} never rerouted"
+        assert case["rerouted_packets"] > 0
+
+    # Paper: sub-second recovery in all experiments.
+    for name, case in cases.items():
+        assert case["recovery_delay"] < 1.0, (name, case["recovery_delay"])
+
+    # Dedicated counters react after one counting session; the tree needs
+    # ~3 zooming sessions: dedicated must be faster.
+    ded = min(c["recovery_delay"] for n, c in cases.items()
+              if n.startswith("dedicated"))
+    tree = min(c["recovery_delay"] for n, c in cases.items()
+               if n.startswith("tree"))
+    assert ded < tree
+
+    # Throughput recovers: late bins near the pre-failure rate.
+    for name, case in cases.items():
+        series = dict(case["series"])
+        config = result["config"]
+        late = [bps for t, bps in series.items() if t > config.failure_time_s + 1.5]
+        pre = [bps for t, bps in series.items()
+               if 0.5 < t < config.failure_time_s - 0.2]
+        assert late and pre
+        assert max(late) > 0.5 * (sum(pre) / len(pre)), name

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 7 (dedicated-counter heatmaps).
+
+Runs the reduced grid (6 entry sizes × 3 loss rates × 2 repetitions,
+8 s horizon, capped packet rates).  Shape assertions follow the paper:
+TPR ≈ 1 outside the tiny-entry × tiny-loss corner; detection time around
+the counter-exchange frequency for healthy entries, growing toward the
+bottom-right corner.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7
+
+
+def test_fig7_dedicated_counters(benchmark, save_artifact):
+    result = benchmark.pedantic(fig7.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    save_artifact("fig7_dedicated", fig7.render(result))
+
+    tpr, latency = result["tpr"], result["latency"]
+    n_rows = len(result["row_labels"])
+    n_cols = len(result["col_labels"])
+
+    # Top-left region (big entries, high loss): always detected, fast.
+    assert tpr[(0, 0)] == 1.0
+    assert latency[(0, 0)] < 0.5
+
+    # Blackholes are detected for every entry size (paper: first column
+    # is all ones down to 8 Kbps entries).
+    blackhole_col = [tpr[(i, 0)] for i in range(n_rows - 1)]
+    assert all(v >= 0.5 for v in blackhole_col)
+
+    # Accuracy degrades toward the bottom-right corner: the hardest cell
+    # must not beat the easiest.
+    assert tpr[(n_rows - 1, n_cols - 1)] <= tpr[(0, 0)]
+
+    # Detection slows for small entries: bottom rows slower than top rows
+    # at the lowest loss rate.
+    assert latency[(n_rows - 1, n_cols - 1)] >= latency[(0, 0)]

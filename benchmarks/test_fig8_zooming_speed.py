@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 8 (minimum entry size vs zooming speed)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+
+
+def test_fig8_minimum_entry_size(benchmark, save_artifact):
+    result = benchmark.pedantic(fig8.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    save_artifact("fig8_zooming_speed", fig8.render(result))
+
+    ranks = result["ranks"]
+    config = result["config"]
+
+    # Every (speed, loss) combination reaches TPR >= 95 % at *some* entry
+    # size (paper: all zooming speeds reach high TPR).
+    for key, rank in ranks.items():
+        assert rank is not None, f"no size reached the TPR threshold for {key}"
+
+    # Lower loss rates require larger (or equal) entries at any speed.
+    for speed in config.zooming_speeds:
+        ordered = [ranks[(speed, loss)] for loss in
+                   sorted(config.loss_rates, reverse=True)]
+        assert ordered == sorted(ordered)
+
+    # The fastest zooming speed (10 ms) must not need *smaller* entries
+    # than 200 ms at the lowest tested loss rate (paper: very small
+    # zooming speeds need more traffic).
+    lowest = min(config.loss_rates)
+    assert ranks[(0.010, lowest)] >= ranks[(0.200, lowest)]

@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the core data structures and the event engine.
+
+Unlike the experiment benchmarks (single-shot artifact regeneration),
+these run proper multi-round timing: they track the per-operation cost of
+the structures that sit on the simulated fast path, so regressions in the
+simulator's throughput are visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.bloom import BloomFilter, stable_hash
+from repro.core.counters import DedicatedSenderCounters
+from repro.core.hashtree import HashTree, HashTreeParams, TreeCounters
+from repro.simulator.engine import Simulator
+from repro.simulator.packet import Packet, PacketKind
+
+PARAMS = HashTreeParams(width=190, depth=3, split=2, pipelined=True)
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + dispatch cost of the event engine."""
+
+    def run():
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_hash_path_computation(benchmark):
+    tree = HashTree(PARAMS, seed=0)
+    entries = [f"10.{i % 256}.{i // 256}.0/24" for i in range(1000)]
+
+    def run():
+        # Half cached, half fresh: realistic mix.
+        tree._cache.clear()
+        return sum(tree.hash_path(e)[0] for e in entries)
+
+    benchmark(run)
+
+
+def test_tree_counter_increment(benchmark):
+    counters = TreeCounters(PARAMS)
+    counters.activate_node((3,))
+    counters.activate_node((3, 7))
+
+    def run():
+        for i in range(1000):
+            counters.increment_path((3, 7, i % 190))
+        return counters.packets
+
+    benchmark(run)
+
+
+def test_dedicated_counter_tagging(benchmark):
+    strategy = DedicatedSenderCounters([f"e{i}" for i in range(500)])
+    strategy.begin_session(1)
+    packets = [Packet(PacketKind.DATA, f"e{i % 500}", 1500) for i in range(1000)]
+
+    def run():
+        hits = 0
+        for pkt in packets:
+            pkt.clear_tag()
+            hits += strategy.process_packet(pkt, 1)
+        return hits
+
+    assert benchmark(run) == 1000
+
+
+def test_bloom_filter_add_and_query(benchmark):
+    bf = BloomFilter(n_cells=100_000, n_hashes=2)
+    items = [(i % 97, i % 53, i % 11) for i in range(500)]
+
+    def run():
+        for item in items:
+            bf.add(item)
+        return sum(1 for item in items if item in bf)
+
+    assert benchmark(run) == 500
+
+
+def test_stable_hash_cost(benchmark):
+    def run():
+        return sum(stable_hash(f"prefix-{i}", i % 7) & 1 for i in range(2000))
+
+    benchmark(run)
+
+
+def test_end_to_end_simulation_throughput(benchmark):
+    """Packets-per-wall-second through the full stack (topology + FANcY +
+    TCP), the number that bounds every experiment's runtime."""
+    from repro.core.detector import FancyConfig, FancyLinkMonitor
+    from repro.core.hashtree import HashTreeParams
+    from repro.simulator.apps import FlowGenerator
+    from repro.simulator.topology import TwoSwitchTopology
+
+    def run():
+        sim = Simulator()
+        topo = TwoSwitchTopology(sim)
+        monitor = FancyLinkMonitor(
+            sim, topo.upstream, 1, topo.downstream, 1,
+            FancyConfig(high_priority=["e0"],
+                        tree_params=HashTreeParams(width=32, depth=3, split=2)),
+        )
+        for i in range(4):
+            FlowGenerator(sim, topo.source, f"e{i}", rate_bps=2e6,
+                          flows_per_second=20, seed=i,
+                          flow_id_base=(i + 1) * 1_000_000).start()
+        monitor.start()
+        sim.run(until=2.0)
+        return topo.sink.packets_received
+
+    received = benchmark(run)
+    assert received > 500

@@ -1,0 +1,61 @@
+"""Benchmark: analytical detection-probability model vs. simulation.
+
+Not a paper artifact per se, but the quantitative backbone of the paper's
+§5.1 explanations: the TPR boundary of the Figure 9a heatmap should be
+predictable from per-session drop statistics alone.  This benchmark runs
+a column of the heatmap in the simulator and checks the closed-form model
+classifies each cell (detectable vs. not) the same way.
+"""
+
+from __future__ import annotations
+
+from repro.core.probability import DetectionProbabilityModel
+from repro.experiments.runner import ExperimentSpec, run_cell
+from repro.traffic.synthetic import EntrySize
+
+
+def test_predicted_tpr_boundary(benchmark, save_artifact):
+    loss_rate = 0.01
+    sizes = (EntrySize(2e6, 20), EntrySize(200e3, 5), EntrySize(8e3, 1))
+    model = DetectionProbabilityModel(session_s=0.200, depth=3)
+    horizon = 10.0
+
+    def run():
+        rows = []
+        for size in sizes:
+            spec = ExperimentSpec(
+                entry_size=size, loss_rate=loss_rate, mode="tree",
+                duration_s=horizon, n_background=3, max_pps_per_entry=200,
+            )
+            cell = run_cell(spec, repetitions=2)
+            pps = min(size.packets_per_second(), 200)
+            predicted = model.detection_probability(pps, loss_rate, horizon)
+            rows.append({
+                "size": size.label,
+                "pps": pps,
+                "measured_tpr": cell.avg_tpr,
+                "predicted": predicted,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"model vs simulation, tree detection at {loss_rate:.0%} loss, "
+             f"{horizon:.0f}s horizon:"]
+    for r in rows:
+        lines.append(f"  {r['size']:<12} measured TPR {r['measured_tpr']:.2f}  "
+                     f"model P[detect] {r['predicted']:.2f}")
+    save_artifact("predicted_boundary", "\n".join(lines))
+
+    # Agreement on classification: cells the model calls near-certain must
+    # be detected; cells it calls near-impossible must not be.
+    for r in rows:
+        if r["predicted"] > 0.95:
+            assert r["measured_tpr"] >= 0.5, r
+        if r["predicted"] < 0.05:
+            assert r["measured_tpr"] <= 0.5, r
+        # And quantitatively: within the noise of 2 repetitions.
+        assert abs(r["measured_tpr"] - r["predicted"]) <= 0.5, r
+    # The model's probability is monotone along the column like the TPR.
+    predictions = [r["predicted"] for r in rows]
+    assert predictions == sorted(predictions, reverse=True)

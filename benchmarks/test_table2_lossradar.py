@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 2 (Loss Radar requirements)."""
+
+from __future__ import annotations
+
+from repro.baselines.lossradar import TABLE2_SWITCHES
+from repro.experiments import table2
+
+
+def test_table2_lossradar(benchmark, save_artifact):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    save_artifact("table2_lossradar", table2.render(result))
+
+    small = result["100 Gbps / 32 ports"]
+    big = result["400 Gbps / 64 ports"]
+    # Paper anchor: ×0.21 memory at 0.1 % loss on 32×100G.
+    assert abs(small["memory_ratio"][0.001] - 0.21) < 0.05
+    # Requirements scale ~8× from 32×100G to 64×400G.
+    ratio = big["memory_ratio"][0.001] / small["memory_ratio"][0.001]
+    assert abs(ratio - 8.0) < 0.1
+    # The red numbers: infeasible at 1 % loss on both switches.
+    for data in (small, big):
+        assert max(data["memory_ratio"][0.01], data["read_ratio"][0.01]) > 1.0
+    # §2.3: max supported loss rate ≈0.1–0.3 % on the small switch.
+    assert 0.0005 < small["max_supported_loss_rate"] < 0.005
+    assert len(TABLE2_SWITCHES) == 2

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table 3 (FANcY on CAIDA-like traces)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+
+
+def test_table3_caida_traces(benchmark, save_artifact):
+    result = benchmark.pedantic(table3.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    save_artifact("table3_caida", table3.render(result))
+
+    rows = result["rows"]
+
+    # Dedicated counters detect everything down to low loss rates
+    # (paper: 100 % at >= 1 % loss).
+    for loss in (1.0, 0.5):
+        assert rows[loss]["tpr_dedicated"] == 1.0
+
+    # The paper's signature TCP effect: 50 % loss is detected *better*
+    # than a full blackhole, because blackholed flows collapse to sparse
+    # RTO retransmissions.
+    assert rows[0.5]["tpr_bytes"] > rows[1.0]["tpr_bytes"]
+
+    # Hash-tree TPR sits below the dedicated TPR at every loss rate.
+    for loss, agg in rows.items():
+        if agg["tpr_tree"] is not None and agg["tpr_dedicated"] is not None:
+            assert agg["tpr_tree"] <= agg["tpr_dedicated"]
+
+    # Detection happens in seconds, not minutes (paper: 2–9 s).
+    for agg in rows.values():
+        if agg["avg_detection_time"] is not None:
+            assert agg["avg_detection_time"] < 10.0
+
+    # False positives stay near zero (paper: ~0.03 per experiment).
+    for agg in rows.values():
+        assert agg["avg_false_positives"] < 1.0

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 4 (Tofino resource usage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4
+from repro.hardware.resources import SWITCH_P4
+
+
+def test_table4_resource_usage(benchmark, save_artifact):
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    save_artifact("table4_resources", table4.render(result))
+
+    usage = result["usage"]
+    full = usage["FANcY + Rerouting"]
+
+    # Paper columns reproduced.
+    assert usage["Dedicated Counters"].sram == pytest.approx(4.80)
+    assert usage["Full FANcY"].sram == pytest.approx(6.65)
+    assert full.sram == pytest.approx(8.1)
+
+    # FANcY uses far fewer resources than switch.p4 everywhere except
+    # stateful ALUs (the paper's takeaway).
+    assert full.dominated_by(SWITCH_P4, except_for=("Stateful ALU",))
+    assert full.stateful_alu > SWITCH_P4.stateful_alu
+
+    # Appendix B.2 memory bottom lines.
+    memory = result["memory"]
+    assert memory["total (KB)"] == pytest.approx(367.6, abs=0.5)
+    assert memory["total with rerouting (KB)"] == pytest.approx(394, abs=1)

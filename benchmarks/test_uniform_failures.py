@@ -1,0 +1,22 @@
+"""Benchmark: regenerate §5.1.3 (uniform failures)."""
+
+from __future__ import annotations
+
+from repro.experiments import uniform
+
+
+def test_uniform_failures(benchmark, save_artifact):
+    result = benchmark.pedantic(uniform.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    save_artifact("uniform_failures", uniform.render(result))
+
+    rows = result["rows"]
+    # Paper: FANcY detects every uniform failure and classifies it as
+    # uniform random drops.
+    for loss, data in rows.items():
+        assert data["detection_rate"] == 1.0, f"missed uniform failure at {loss}"
+
+    # Paper: average detection time ≈ one zooming interval (200 ms) at
+    # high loss; allow session-phase slack.
+    high_loss = max(rows)
+    assert rows[high_loss]["avg_detection_time"] < 0.5

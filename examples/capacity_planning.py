@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Capacity planning: dimensioning FANcY for a switch (no simulation).
+
+Operator-facing tooling built from the analytical modules: given a memory
+budget and a prefix population, how many dedicated counters fit, what
+tree width results, what collision (false-positive) rate to expect, and
+how the alternatives (per-prefix counters, Loss Radar, NetSeer) compare
+on the same switch.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import MonitoringInput, plan_memory
+from repro.baselines.lossradar import TABLE2_SWITCHES, LossRadarModel
+from repro.baselines.netseer import NetSeerModel
+from repro.core.analysis import (
+    dedicated_memory_bits,
+    expected_collisions,
+    max_dedicated_entries,
+)
+
+PORT_BUDGET = 20 * 1024          # bytes per port (1.25 MB across 64 ports)
+N_PREFIXES = 900_000             # full BGP table
+N_HIGH_PRIORITY = 500
+
+
+def main() -> None:
+    print(f"switch: 64 x 100 Gbps, {PORT_BUDGET // 1024} KB per port for FANcY")
+    print(f"routing table: {N_PREFIXES:,} prefixes, "
+          f"{N_HIGH_PRIORITY} high-priority\n")
+
+    spec = MonitoringInput(
+        high_priority=[f"hp{i}" for i in range(N_HIGH_PRIORITY)],
+        best_effort=["be"],  # representative: the tree covers all the rest
+        memory_bytes=PORT_BUDGET,
+    )
+    plan = plan_memory(spec)
+    print("FANcY plan (per port):")
+    print(f"  dedicated counters: {plan.n_dedicated}  "
+          f"({plan.dedicated_bits / 8 / 1024:.1f} KB)")
+    print(f"  hash-based tree:    width {plan.tree.width}, depth {plan.tree.depth}, "
+          f"split {plan.tree.split}  ({plan.tree_bits / 8 / 1024:.1f} KB)")
+    print(f"  slack:              {plan.slack_bits / 8 / 1024:.1f} KB")
+
+    for n_faulty in (1, 10, 100):
+        fps = expected_collisions(plan.tree, n_faulty, N_PREFIXES)
+        print(f"  expected false positives with {n_faulty:>3} simultaneous "
+              f"failures: {fps:.2f}")
+
+    print("\nalternatives on the same switch:")
+    per_prefix = dedicated_memory_bits(N_PREFIXES) / 8 / 1e6
+    print(f"  one exact counter per prefix: {per_prefix:.0f} MB per port "
+          f"(vs {PORT_BUDGET / 1024:.0f} KB budget)")
+    print(f"  dedicated-only within budget: "
+          f"{max_dedicated_entries(PORT_BUDGET):,} of {N_PREFIXES:,} prefixes covered")
+
+    lossradar = LossRadarModel()
+    switch = TABLE2_SWITCHES[0]
+    print(f"  Loss Radar: supports avg loss up to "
+          f"{lossradar.max_supported_loss_rate(switch):.2%} "
+          "before exceeding stage memory/read speed")
+
+    netseer = NetSeerModel()
+    for latency in (100e-6, 10e-3):
+        mb = netseer.required_memory_bytes(64, 100e9, latency) / 1e6
+        print(f"  NetSeer @ {latency * 1e3:g} ms links: needs {mb:,.0f} MB "
+              f"of packet buffers ({'OK' if mb < 15 else 'not operational'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment this reproduction targets is offline: pip cannot fetch the
+``wheel`` backend needed for PEP 660 editable installs, so we keep a
+classic ``setup.py`` to allow ``pip install -e . --no-use-pep517`` (and
+plain ``pip install .``).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""FANcY — fast in-network gray failure detection for ISPs.
+
+A full-system Python reproduction of "FAst In-Network GraY Failure
+Detection for ISPs" (Costa Molero, Vissicchio, Vanbever — SIGCOMM 2022):
+the counting protocol and its FSMs, dedicated counters, hash-based trees
+with the zooming algorithm, a packet-level network simulator standing in
+for ns-3, baselines (Loss Radar, NetSeer, Blink, simple counter designs),
+a Tofino resource model, and the complete experiment harness regenerating
+every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        Simulator, TwoSwitchTopology, EntryLossFailure,
+        FancyConfig, FancyLinkMonitor, FlowGenerator,
+    )
+
+    sim = Simulator()
+    failure = EntryLossFailure({"10.0.0.0/8"}, loss_rate=0.1, start_time=2.0)
+    topo = TwoSwitchTopology(sim, loss_model=failure)
+    monitor = FancyLinkMonitor(sim, topo.upstream, 1, topo.downstream, 1,
+                               FancyConfig(high_priority=["10.0.0.0/8"]))
+    gen = FlowGenerator(sim, topo.source, "10.0.0.0/8",
+                        rate_bps=1e6, flows_per_second=10)
+    monitor.start()
+    gen.start()
+    sim.run(until=10.0)
+    print(monitor.log.reports)
+"""
+
+from .core import (
+    BloomFilter,
+    FancyDeployment,
+    LatencyModel,
+    LinkSpec,
+    QueueGuard,
+    CountingBloomFilter,
+    FailureKind,
+    FailureLog,
+    FailureReport,
+    FancyConfig,
+    FancyLinkMonitor,
+    HashTree,
+    HashTreeParams,
+    MemoryBudgetError,
+    MemoryPlan,
+    MonitoringInput,
+    plan_memory,
+)
+from .scenario import Scenario, ScenarioResult
+from .simulator import (
+    ChainTopology,
+    EntryLossFailure,
+    FlowGenerator,
+    Host,
+    Link,
+    Packet,
+    PacketKind,
+    Simulator,
+    Switch,
+    ThroughputMeter,
+    TwoSwitchTopology,
+    UdpSource,
+    UniformLossFailure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "FancyConfig",
+    "FancyLinkMonitor",
+    "FancyDeployment",
+    "LinkSpec",
+    "QueueGuard",
+    "LatencyModel",
+    "HashTree",
+    "HashTreeParams",
+    "MonitoringInput",
+    "MemoryPlan",
+    "MemoryBudgetError",
+    "plan_memory",
+    "FailureKind",
+    "FailureReport",
+    "FailureLog",
+    "BloomFilter",
+    "CountingBloomFilter",
+    # simulator
+    "Simulator",
+    "Packet",
+    "PacketKind",
+    "Link",
+    "Switch",
+    "Host",
+    "FlowGenerator",
+    "ThroughputMeter",
+    "UdpSource",
+    "TwoSwitchTopology",
+    "ChainTopology",
+    "EntryLossFailure",
+    "UniformLossFailure",
+    "Scenario",
+    "ScenarioResult",
+]

@@ -1,0 +1,5 @@
+"""Data-plane applications built on FANcY's interface."""
+
+from .rerouting import FastRerouteApp
+
+__all__ = ["FastRerouteApp"]

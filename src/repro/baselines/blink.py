@@ -1,0 +1,109 @@
+"""Blink failure-inference model (§2.3).
+
+Blink (Holterbach et al., NSDI'19) monitors a small sample of flows per
+prefix (64) and infers a failure when a majority of them retransmit within
+an 800 ms window.  The FANcY paper argues Blink fundamentally cannot see
+gray failures that affect a minority of flows: with only a fraction ``f``
+of flows crossing the failure, the probability that a majority of the 64
+sampled flows are affected collapses once ``f < 0.5``.
+
+This module computes that detection probability exactly (binomial tail)
+and the window-dispersion effect: under partial per-packet loss only a
+fraction of affected flows retransmit inside one window, diluting the
+majority further.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["BlinkModel"]
+
+
+def _binom_tail(n: int, p: float, k_min: int) -> float:
+    """P[X >= k_min] for X ~ Binomial(n, p)."""
+    if p <= 0.0:
+        return 0.0 if k_min > 0 else 1.0
+    if p >= 1.0:
+        return 1.0 if k_min <= n else 0.0
+    total = 0.0
+    for k in range(k_min, n + 1):
+        total += math.comb(n, k) * (p ** k) * ((1 - p) ** (n - k))
+    return min(1.0, total)
+
+
+class BlinkModel:
+    """Analytical Blink detector.
+
+    Args:
+        monitored_flows: flows sampled per prefix (64 in Blink).
+        majority_fraction: fraction that must retransmit to fire (>50 %).
+        window_s: retransmission observation window (800 ms).
+        rto_s: TCP retransmission timeout driving the first retransmit.
+    """
+
+    def __init__(
+        self,
+        monitored_flows: int = 64,
+        majority_fraction: float = 0.5,
+        window_s: float = 0.800,
+        rto_s: float = 0.200,
+    ):
+        if monitored_flows <= 0:
+            raise ValueError("must monitor at least one flow")
+        if not 0 < majority_fraction <= 1:
+            raise ValueError("majority fraction must be in (0, 1]")
+        self.monitored_flows = monitored_flows
+        self.majority_fraction = majority_fraction
+        self.window_s = window_s
+        self.rto_s = rto_s
+
+    @property
+    def majority_count(self) -> int:
+        return int(self.monitored_flows * self.majority_fraction) + 1
+
+    def retransmit_in_window_probability(self, packet_loss_rate: float) -> float:
+        """Probability an *affected* flow shows a retransmission inside one
+        window.
+
+        A flow retransmits after losing a packet; with per-packet loss rate
+        ``q`` and a flow sending ≈ window/rto packet rounds per window, the
+        chance of at least one loss (hence a retransmission event Blink can
+        see in-window) is ``1 - (1-q)^rounds``.  For a blackhole this is 1.
+        """
+        if not 0 <= packet_loss_rate <= 1:
+            raise ValueError("loss rate must be in [0, 1]")
+        rounds = max(1, int(self.window_s / self.rto_s))
+        return 1.0 - (1.0 - packet_loss_rate) ** rounds
+
+    def detection_probability(
+        self, affected_flow_fraction: float, packet_loss_rate: float = 1.0
+    ) -> float:
+        """Probability Blink fires for a gray failure.
+
+        Args:
+            affected_flow_fraction: fraction of the link's flows (hence of
+                Blink's sample) crossing the failure.
+            packet_loss_rate: per-packet drop rate for affected flows.
+        """
+        if not 0 <= affected_flow_fraction <= 1:
+            raise ValueError("flow fraction must be in [0, 1]")
+        p_affected_and_visible = (
+            affected_flow_fraction
+            * self.retransmit_in_window_probability(packet_loss_rate)
+        )
+        return _binom_tail(self.monitored_flows, p_affected_and_visible, self.majority_count)
+
+    def gray_failure_blind_spot(self, packet_loss_rate: float = 1.0,
+                                threshold: float = 0.01) -> float:
+        """Largest affected-flow fraction for which Blink's detection
+        probability stays below ``threshold`` — the gray-failure region
+        Blink is blind to (§2.3's core argument)."""
+        lo, hi = 0.0, 1.0
+        for _ in range(40):
+            mid = (lo + hi) / 2
+            if self.detection_probability(mid, packet_loss_rate) < threshold:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,123 @@
+"""Loss Radar requirements model (§2.3, Table 2).
+
+Loss Radar (Li et al., CoNEXT'16) tracks XOR signatures of packets in
+Invertible Bloom Filters; a controller decodes per-packet losses by
+diffing the IBFs of consecutive switches.  For detection to stay fast the
+IBFs must be extracted every ``epoch`` (10 ms), and their size must scale
+with the packets lost per epoch.
+
+Table 2 of the FANcY paper compares Loss Radar's memory footprint and
+memory-read-bandwidth needs against what a hardware stage can offer.  The
+model here computes both requirements from first principles with the
+parameters the table caption fixes (64-bit registers, 1500 B packets —
+the combination *minimizing* Loss Radar's needs), and compares against a
+configurable per-stage budget.  The paper's headline — Loss Radar exceeds
+switch capabilities for average loss rates in the 0.1–1 % range, and
+linearly worse with line rate — reproduces for any credible budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LossRadarModel", "SwitchProfile", "TABLE2_SWITCHES"]
+
+
+@dataclass(frozen=True)
+class SwitchProfile:
+    """A switch configuration evaluated in Table 2."""
+
+    name: str
+    n_ports: int
+    port_bandwidth_bps: float
+
+    @property
+    def aggregate_bps(self) -> float:
+        return self.n_ports * self.port_bandwidth_bps
+
+
+TABLE2_SWITCHES: tuple[SwitchProfile, ...] = (
+    SwitchProfile("100 Gbps / 32 ports", 32, 100e9),
+    SwitchProfile("400 Gbps / 64 ports", 64, 400e9),
+)
+
+
+@dataclass
+class LossRadarModel:
+    """Analytical Loss Radar requirements.
+
+    Args:
+        epoch_s: IBF extraction period (10 ms per the Loss Radar paper).
+        cell_bits: IBF register width (64 bits per the Table 2 caption).
+        packet_size: packet size assumed (1500 B minimizes requirements).
+        cells_per_loss: IBF cells per expected lost packet; invertible
+            decoding needs ≈1.36× with 3 hash functions.
+        double_buffered: IBFs must be double-buffered so one can be read
+            while the other fills.
+        stage_memory_bytes: SRAM an application can realistically claim in
+            one hardware stage.  Stages hold ~1.4 MB shared across all
+            in-switch applications (§2.3); the default claims 20 %.
+        stage_read_bps: sustained register read bandwidth from the data
+            plane to the control plane, per pipeline.  Telemetry-retrieval
+            studies measure single-digit MB/s; default 8 MB/s.
+    """
+
+    epoch_s: float = 0.010
+    cell_bits: int = 64
+    packet_size: int = 1500
+    cells_per_loss: float = 1.36
+    double_buffered: bool = True
+    stage_memory_bytes: float = 280e3
+    stage_read_bps: float = 8e6 * 8
+
+    def lost_packets_per_epoch(self, switch: SwitchProfile, loss_rate: float) -> float:
+        pps = switch.aggregate_bps / (self.packet_size * 8)
+        return pps * loss_rate * self.epoch_s
+
+    def required_memory_bits(self, switch: SwitchProfile, loss_rate: float) -> float:
+        """IBF memory needed to cover one epoch's losses switch-wide."""
+        cells = self.lost_packets_per_epoch(switch, loss_rate) * self.cells_per_loss
+        bits = cells * self.cell_bits
+        if self.double_buffered:
+            bits *= 2
+        return bits
+
+    def memory_ratio(self, switch: SwitchProfile, loss_rate: float) -> float:
+        """Table 2 "memory size": required / per-stage memory available."""
+        return self.required_memory_bits(switch, loss_rate) / (self.stage_memory_bytes * 8)
+
+    def required_read_bps(self, switch: SwitchProfile, loss_rate: float) -> float:
+        """The IBF must be fully read out every epoch."""
+        # Reading happens continuously; double buffering does not double
+        # the read volume (only one buffer is extracted per epoch).
+        bits = self.required_memory_bits(switch, loss_rate)
+        if self.double_buffered:
+            bits /= 2
+        return bits / self.epoch_s
+
+    def read_ratio(self, switch: SwitchProfile, loss_rate: float) -> float:
+        """Table 2 "read speedup": required / available read bandwidth."""
+        return self.required_read_bps(switch, loss_rate) / self.stage_read_bps
+
+    def max_supported_loss_rate(self, switch: SwitchProfile) -> float:
+        """Largest average loss rate Loss Radar can support on this switch
+        (the binding constraint between memory and read speed).
+
+        §2.3 reports ≈0.15 % for 100 Gbps × 32 ports.
+        """
+        # Both ratios are linear in loss rate; find where max(ratios) = 1.
+        probe = 0.01
+        mem = self.memory_ratio(switch, probe)
+        read = self.read_ratio(switch, probe)
+        return probe / max(mem, read)
+
+    def table2(self, loss_rates: tuple[float, ...] = (0.001, 0.002, 0.003, 0.01)) -> dict:
+        """Regenerate Table 2: both switches × both metrics × loss rates."""
+        rows = {}
+        for switch in TABLE2_SWITCHES:
+            rows[switch.name] = {
+                "memory_ratio": {r: self.memory_ratio(switch, r) for r in loss_rates},
+                "read_ratio": {r: self.read_ratio(switch, r) for r in loss_rates},
+                "max_supported_loss_rate": self.max_supported_loss_rate(switch),
+            }
+        return rows

@@ -1,0 +1,126 @@
+"""NetSeer inter-switch protocol model (§2.3, Figure 2).
+
+NetSeer (Zhou et al., SIGCOMM'20) detects inter-switch drops by having
+each upstream switch buffer a signature of every sent packet until the
+downstream acknowledges it; NACKs identify lost packets.  The buffer must
+therefore hold at least a link-RTT worth of packet records.  In ISPs —
+hundreds of Gbps per link, millisecond link delays — the required buffer
+exceeds switch memory by orders of magnitude, and once the buffer wraps
+before acknowledgements return, NetSeer loses per-entry visibility and is
+*not operational* (the paper's term).
+
+Two models are provided:
+
+* :class:`NetSeerModel` — the analytical memory requirement behind
+  Figure 2.
+* :class:`NetSeerBuffer` — an executable ring-buffer model used by the
+  simulation-based confirmation: packets append records, acknowledgements
+  retire them after an RTT, overwrites of unacknowledged records are
+  counted as visibility loss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["NetSeerModel", "NetSeerBuffer"]
+
+
+@dataclass
+class NetSeerModel:
+    """Analytical buffer requirement for NetSeer on one switch.
+
+    Args:
+        record_bytes: per-packet signature record size (flow key + seq
+            metadata; 8 B is generous to NetSeer).
+        packet_size: average packet size on the link (1500 B minimizes
+            the packet rate and hence favours NetSeer).
+        rtt_factor: buffer residency as a multiple of the one-way link
+            latency (records wait a full RTT for the NACK window: 2×).
+    """
+
+    record_bytes: int = 8
+    packet_size: int = 1500
+    rtt_factor: float = 2.0
+
+    def required_memory_bytes(
+        self, n_ports: int, port_bandwidth_bps: float, link_latency_s: float
+    ) -> float:
+        """Figure 2: total per-switch buffer for all ports."""
+        pps = port_bandwidth_bps / (self.packet_size * 8)
+        in_flight = pps * link_latency_s * self.rtt_factor
+        return n_ports * in_flight * self.record_bytes
+
+    def operational(
+        self,
+        n_ports: int,
+        port_bandwidth_bps: float,
+        link_latency_s: float,
+        available_bytes: float,
+    ) -> bool:
+        """Whether NetSeer keeps per-entry visibility with this memory."""
+        return (
+            self.required_memory_bytes(n_ports, port_bandwidth_bps, link_latency_s)
+            <= available_bytes
+        )
+
+    def figure2(
+        self,
+        latencies_s: tuple[float, ...] = (100e-6, 1e-3, 10e-3, 100e-3),
+        bandwidths_bps: tuple[float, ...] = (100e9, 200e9, 400e9),
+        n_ports: int = 64,
+    ) -> dict:
+        """Regenerate the Figure 2 curves (required MB vs latency)."""
+        return {
+            bw: {
+                lat: self.required_memory_bytes(n_ports, bw, lat) / 1e6
+                for lat in latencies_s
+            }
+            for bw in bandwidths_bps
+        }
+
+
+class NetSeerBuffer:
+    """Executable ring buffer for the simulated confirmation of Figure 2.
+
+    Drive it with ``on_send(pid, now)`` for every transmitted packet and
+    ``on_ack(now)`` periodically (acknowledgements retire every record
+    older than the RTT).  ``overwrites`` counts records evicted before
+    acknowledgement — each one is a packet NetSeer can no longer attribute
+    if it turns out lost.
+    """
+
+    def __init__(self, capacity_records: int, rtt_s: float):
+        if capacity_records <= 0:
+            raise ValueError("buffer needs capacity")
+        self.capacity = capacity_records
+        self.rtt_s = rtt_s
+        self._records: deque[tuple[int, float]] = deque()
+        self.sent = 0
+        self.overwrites = 0
+
+    def on_send(self, pid: int, now: float) -> None:
+        self.retire(now)
+        self.sent += 1
+        if len(self._records) >= self.capacity:
+            self._records.popleft()
+            self.overwrites += 1
+        self._records.append((pid, now))
+
+    def retire(self, now: float) -> None:
+        """Acknowledgements retire records older than one RTT."""
+        horizon = now - self.rtt_s
+        while self._records and self._records[0][1] <= horizon:
+            self._records.popleft()
+
+    @property
+    def visibility_loss_fraction(self) -> float:
+        """Fraction of sent packets whose record was evicted unacked."""
+        if self.sent == 0:
+            return 0.0
+        return self.overwrites / self.sent
+
+    @property
+    def operational(self) -> bool:
+        return self.overwrites == 0

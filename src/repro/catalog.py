@@ -1,0 +1,229 @@
+"""The gray-failure bug catalog (Table 1, §2.2).
+
+The paper analyzes 150+ Cisco and Juniper bug reports and classifies the
+resulting gray failures along two axes: which forwarding entries are
+affected (one/some vs. all IP prefixes) and which packets per affected
+entry are dropped (some vs. all).  This module carries the representative
+examples of Table 1 as structured data, renders the table, and — the
+operational part — maps each bug class to the executable failure model
+that reproduces its drop behaviour in the simulator.
+
+That mapping is what the integration suite uses to claim coverage of
+"every failure class of Table 1": each catalog entry can be instantiated
+as a live failure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from .simulator.failures import (
+    EntryLossFailure,
+    PacketPropertyFailure,
+    UniformLossFailure,
+)
+from .simulator.packet import Packet
+
+__all__ = [
+    "EntryScope",
+    "PacketScope",
+    "BugReport",
+    "TABLE1_BUGS",
+    "bugs_in_class",
+    "failure_for",
+    "render_table1",
+]
+
+
+class EntryScope(enum.Enum):
+    """Which forwarding entries the bug affects (Table 1 rows)."""
+
+    SOME_PREFIXES = "one or some IP prefixes"
+    ALL_PREFIXES = "all IP prefixes"
+
+
+class PacketScope(enum.Enum):
+    """Which packets per affected entry are dropped (Table 1 columns)."""
+
+    SOME_PACKETS = "some packets"
+    ALL_PACKETS = "all packets"
+
+
+@dataclass(frozen=True)
+class BugReport:
+    """One vendor bug report from the paper's reference list."""
+
+    vendor: str
+    bug_id: str
+    description: str
+    entry_scope: EntryScope
+    packet_scope: PacketScope
+    #: Hint for the failure factory: None, or a packet-predicate name.
+    packet_selector: Optional[str] = None
+
+
+#: Representative examples of Table 1 (references [1]-[13] of the paper).
+TABLE1_BUGS: tuple[BugReport, ...] = (
+    # ... some prefixes, some packets
+    BugReport("Juniper", "PR1434567",
+              "IPv6 neighbor solicitation packets dropped on PTX",
+              EntryScope.SOME_PREFIXES, PacketScope.SOME_PACKETS,
+              packet_selector="protocol"),
+    BugReport("Juniper", "PR1398407",
+              "BGP packets dropped under high CPU usage (SRX4600/SRX5000)",
+              EntryScope.SOME_PREFIXES, PacketScope.SOME_PACKETS,
+              packet_selector="protocol"),
+    # ... some prefixes, all packets
+    BugReport("Cisco", "CSCea91692",
+              "PSA has a corrupted CEF entry, affecting IP-in-IP traffic",
+              EntryScope.SOME_PREFIXES, PacketScope.ALL_PACKETS),
+    BugReport("Cisco", "CSCti14290",
+              "VPN aggregate label dmac corruption in hardware forwarding entry",
+              EntryScope.SOME_PREFIXES, PacketScope.ALL_PACKETS),
+    BugReport("Cisco", "CSCea91692/linecard",
+              "Packets sent from a specific line card dropped",
+              EntryScope.SOME_PREFIXES, PacketScope.ALL_PACKETS),
+    # ... all prefixes, some packets
+    BugReport("Cisco", "CSCtc33158",
+              "7600-ES+40G3CXL drops random sized L2TPv3 packets with cookies",
+              EntryScope.ALL_PREFIXES, PacketScope.SOME_PACKETS,
+              packet_selector="size"),
+    BugReport("Cisco", "CSCuv31196",
+              "Random MPLS packet drops with IP ID field 0xE000 (ASR901)",
+              EntryScope.ALL_PREFIXES, PacketScope.SOME_PACKETS,
+              packet_selector="field"),
+    BugReport("Juniper", "PR1313977",
+              "Traffic loss when sending via the 40G interface",
+              EntryScope.ALL_PREFIXES, PacketScope.SOME_PACKETS),
+    BugReport("Juniper", "PR1309613",
+              "Traffic drop on 'et' interfaces due to CRC errors",
+              EntryScope.ALL_PREFIXES, PacketScope.SOME_PACKETS),
+    # ... all prefixes, all packets
+    BugReport("Juniper", "PR1296089",
+              "Traffic from core not sent to locally attached circuit (QSN timeout)",
+              EntryScope.ALL_PREFIXES, PacketScope.ALL_PACKETS),
+    BugReport("Juniper", "PR1450545",
+              "Traffic loss with ~80,000 routes in FIB",
+              EntryScope.ALL_PREFIXES, PacketScope.ALL_PACKETS),
+    BugReport("Juniper", "PR1441816",
+              "Egress stream flush failure causing traffic blackhole",
+              EntryScope.ALL_PREFIXES, PacketScope.ALL_PACKETS),
+    BugReport("Juniper", "PR1459698",
+              "Silent traffic drop after interface flap + DRD auto-recovery",
+              EntryScope.ALL_PREFIXES, PacketScope.ALL_PACKETS),
+)
+
+
+def bugs_in_class(entry_scope: EntryScope, packet_scope: PacketScope) -> list[BugReport]:
+    """All catalogued bugs in one Table 1 cell."""
+    return [b for b in TABLE1_BUGS
+            if b.entry_scope is entry_scope and b.packet_scope is packet_scope]
+
+
+def failure_for(
+    bug: BugReport,
+    entries: Iterable[Any] = (),
+    loss_rate: Optional[float] = None,
+    start_time: float = 0.0,
+    seed: int = 0,
+):
+    """Instantiate the failure model matching a bug's classification.
+
+    Args:
+        bug: the catalog entry.
+        entries: affected entries (required for SOME_PREFIXES bugs).
+        loss_rate: drop probability; defaults to 1.0 for ALL_PACKETS bugs
+            and 0.3 for SOME_PACKETS bugs.
+        start_time, seed: forwarded to the failure model.
+    """
+    if loss_rate is None:
+        loss_rate = 1.0 if bug.packet_scope is PacketScope.ALL_PACKETS else 0.3
+
+    if bug.entry_scope is EntryScope.SOME_PREFIXES:
+        entries = list(entries)
+        if not entries:
+            raise ValueError(f"{bug.bug_id} affects specific prefixes: pass them")
+        return EntryLossFailure(entries, loss_rate,
+                                start_time=start_time, seed=seed)
+
+    # ALL_PREFIXES bugs.
+    if bug.packet_selector == "size":
+        return PacketPropertyFailure(
+            _random_size_predicate(seed), loss_rate,
+            start_time=start_time, seed=seed,
+        )
+    if bug.packet_selector == "field":
+        return PacketPropertyFailure(
+            lambda p: (p.seq & 0xFFFF) == 0xE000, 1.0,
+            start_time=start_time, seed=seed,
+        )
+    return UniformLossFailure(loss_rate, start_time=start_time, seed=seed)
+
+
+def _random_size_predicate(seed: int):
+    """'Random sized packets': a size-class predicate derived from the seed."""
+    import random
+
+    rng = random.Random(seed)
+    lo = rng.choice((64, 128, 256, 512))
+
+    def predicate(packet: Packet) -> bool:
+        return lo <= packet.size < lo * 2
+
+    return predicate
+
+
+def render_table1() -> str:
+    """Render the Table 1 grid as text."""
+    from .experiments.report import render_table
+
+    rows = []
+    for entry_scope in EntryScope:
+        for packet_scope in PacketScope:
+            for bug in bugs_in_class(entry_scope, packet_scope):
+                rows.append([
+                    entry_scope.value,
+                    packet_scope.value,
+                    bug.vendor,
+                    bug.bug_id,
+                    bug.description,
+                ])
+    return render_table(
+        "Table 1 — representative gray-failure bug reports "
+        "(Cisco and Juniper, from the paper's references)",
+        ["affected entries", "dropped traffic", "vendor", "bug", "description"],
+        rows,
+    )
+
+
+#: §2.1 — findings of the paper's anonymous NANOG operator survey
+#: (46 respondents, 80 % operating a WAN).
+SURVEY_FINDINGS: dict[str, str] = {
+    "respondents": "46 operators; 80% operate a WAN",
+    "affected": "≈90% consider gray failures an actual problem",
+    "diagnose_daily": "13% need to diagnose gray failures every day",
+    "diagnose_monthly": "46% at least once a month",
+    "diagnose_semiannually": "73% at least once every half a year",
+    "no_detector": "74% use no gray-failure detector at all",
+    "debug_hours": "35% take hours to debug a gray failure",
+    "debug_days": "20% take days",
+    "debug_weeks": "20% take weeks",
+    "method": "most common approach: manually dismissing assumptions one by one",
+}
+
+
+def render_survey() -> str:
+    """Render the §2.1 survey findings."""
+    from .experiments.report import render_table
+
+    rows = [[k.replace("_", " "), v] for k, v in SURVEY_FINDINGS.items()]
+    return render_table(
+        "§2.1 — NANOG operator survey on gray failures",
+        ["finding", "value"],
+        rows,
+    )
+
+
+__all__ += ["SURVEY_FINDINGS", "render_survey"]

@@ -1,0 +1,116 @@
+"""Command-line interface: ``fancy-repro <experiment> [--full]``.
+
+Runs one experiment (or ``all``) and prints the rendered table/figure.
+``--full`` switches from the reduced default configuration to the
+paper-faithful sweep — expect long runtimes for the heatmaps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from .experiments import (
+    baselines52,
+    table1,
+    fig2,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    overhead,
+    table2,
+    table3,
+    table4,
+    table5,
+    uniform,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+_WORKERS: list = [None]
+
+
+def _fig9a(quick: bool) -> str:
+    return fig9.main(quick=quick, multi=False, workers=_WORKERS[0])
+
+
+def _fig9b(quick: bool) -> str:
+    return fig9.main(quick=quick, multi=True, workers=_WORKERS[0])
+
+
+#: experiment name -> callable(quick) -> rendered text.
+EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+    "table1": lambda quick: table1.main(quick=quick),
+    "table2": lambda quick: table2.main(),
+    "fig2": lambda quick: fig2.main(),
+    "fig7": lambda quick: fig7.main(quick=quick, workers=_WORKERS[0]),
+    "fig8": lambda quick: fig8.main(quick=quick),
+    "fig9a": _fig9a,
+    "fig9b": _fig9b,
+    "uniform": lambda quick: uniform.main(quick=quick),
+    "table3": lambda quick: table3.main(quick=quick),
+    "baselines": lambda quick: baselines52.main(),
+    "overhead": lambda quick: overhead.main(),
+    "table4": lambda quick: table4.main(),
+    "fig10": lambda quick: fig10.main(quick=quick),
+    "fig11": lambda quick: fig11.main(quick=quick),
+    "table5": lambda quick: table5.main(),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fancy-repro",
+        description="Regenerate the FANcY paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper-faithful configuration instead of the quick one",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run heatmap cells in N parallel processes (fig7/fig9)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each rendered artifact to DIR/<experiment>.txt",
+    )
+    args = parser.parse_args(argv)
+    _WORKERS[0] = args.workers
+
+    out_dir = None
+    if args.out is not None:
+        import pathlib
+
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(f"=== {name} ===")
+        text = EXPERIMENTS[name](not args.full)
+        if out_dir is not None and text:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"--- {name} done in {time.time() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

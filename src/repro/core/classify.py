@@ -1,0 +1,83 @@
+"""Dynamic entry definitions (§1, Figure 1).
+
+An entry "indicates a subset of the header space defined by a match rule
+on packets".  The default — and what the evaluation uses — is the
+destination prefix, but the paper explicitly envisions applications
+dynamically defining entries "for example, for root cause analyses —
+e.g., to assess losses per packet size or per value of specific IP
+fields".
+
+A classifier is any callable mapping a packet to an entry key.  The
+upstream side of FANcY classifies packets before counting/tagging; the
+downstream side never needs the classifier (tags carry the counter
+coordinates), which is what makes dynamic entries deployable without
+touching the peer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..simulator.packet import Packet
+
+__all__ = [
+    "EntryClassifier",
+    "by_prefix",
+    "by_packet_size",
+    "by_field",
+    "compose",
+]
+
+#: A classifier maps a packet to its entry key.
+EntryClassifier = Callable[[Packet], Any]
+
+
+def by_prefix(packet: Packet) -> Any:
+    """The default classifier: destination prefix (destination routing)."""
+    return packet.entry
+
+
+def by_packet_size(bins: Sequence[int] = (64, 128, 256, 512, 1024, 1500)) -> EntryClassifier:
+    """Entries are packet-size classes — Table 1's "packets with specific
+    sizes" bug class becomes directly localizable.
+
+    Args:
+        bins: ascending upper bounds; a packet maps to the first bin its
+            size fits in (the last bin also catches anything larger).
+    """
+    ordered = sorted(bins)
+
+    def classify(packet: Packet) -> str:
+        for bound in ordered:
+            if packet.size <= bound:
+                return f"size<={bound}"
+        return f"size>{ordered[-1]}"
+
+    return classify
+
+
+def by_field(getter: Callable[[Packet], Any], name: str = "field") -> EntryClassifier:
+    """Entries are values of an arbitrary header field — Table 1's
+    "IP ID field 0xE000" bug class.
+
+    Args:
+        getter: extracts the field value from a packet.
+        name: label used in the entry key.
+    """
+
+    def classify(packet: Packet) -> tuple:
+        return (name, getter(packet))
+
+    return classify
+
+
+def compose(*classifiers: EntryClassifier) -> EntryClassifier:
+    """Cross-product of classifiers: e.g. (prefix × size class), for
+    drilling into which sizes of which prefix are dropped."""
+    if not classifiers:
+        raise ValueError("compose needs at least one classifier")
+
+    def classify(packet: Packet) -> tuple:
+        return tuple(c(packet) for c in classifiers)
+
+    return classify

@@ -1,0 +1,132 @@
+"""Dedicated per-entry counters (§3, §4.3).
+
+Each high-priority entry gets one exact counter at each end of the link.
+During a counting session, the upstream tags matching packets with the
+counter index and increments its local counter; the downstream increments
+the counter named by the tag.  At session end the upstream compares and
+flags any entry whose sent count exceeds the received count.
+
+Dedicated counters have zero false positives by construction (§5: "the
+FPR is always zero for any dedicated counter") and detect a failure at the
+first counter exchange after it manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..simulator.packet import Packet
+
+__all__ = ["DedicatedSenderCounters", "DedicatedReceiverCounters"]
+
+#: Detection callback: (entry, lost_packets, session_id) -> None.
+DetectionCallback = Callable[[Any, int, int], None]
+
+
+class DedicatedSenderCounters:
+    """Upstream-side dedicated counters: tagging, counting, comparison.
+
+    Implements the sender :class:`~repro.core.protocol.SenderStrategy`
+    interface consumed by the counting-protocol FSM.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[Any],
+        on_detection: Optional[DetectionCallback] = None,
+        entry_of: Optional[Callable[[Packet], Any]] = None,
+    ):
+        self.index: dict[Any, int] = {e: i for i, e in enumerate(entries)}
+        if len(self.index) != len(entries):
+            raise ValueError("duplicate high-priority entries")
+        self.entries = list(entries)
+        self.counters = [0] * len(entries)
+        self.on_detection = on_detection
+        #: Entry classifier (§1: entries are match rules on packets; the
+        #: default is the destination prefix carried in ``packet.entry``).
+        self.entry_of = entry_of if entry_of is not None else (lambda p: p.entry)
+        #: §4.3 output structure: 1-bit flag per dedicated counter.
+        self.flags = [False] * len(entries)
+        self.sessions_completed = 0
+
+    # -- SenderStrategy interface -------------------------------------------
+
+    def begin_session(self, session_id: int) -> None:
+        for i in range(len(self.counters)):
+            self.counters[i] = 0
+
+    def process_packet(self, packet: Packet, session_id: int) -> bool:
+        """Tag and count ``packet`` if it matches a dedicated entry.
+
+        Returns True when the packet was claimed by a dedicated counter
+        (so the caller does not also offer it to the tree).
+        """
+        idx = self.index.get(self.entry_of(packet))
+        if idx is None:
+            return False
+        packet.tag = (idx,)
+        packet.tag_session = session_id
+        packet.tag_dedicated = True
+        self.counters[idx] += 1
+        return True
+
+    def owns(self, entry: Any) -> bool:
+        return entry in self.index
+
+    def end_session(self, remote_counters: Sequence[int], session_id: int) -> list[Any]:
+        """Compare against the downstream's Report; flag mismatching entries.
+
+        Returns the list of entries flagged in this session.
+        """
+        detected: list[Any] = []
+        for i, local in enumerate(self.counters):
+            remote = remote_counters[i] if i < len(remote_counters) else 0
+            if local > remote:
+                entry = self.entries[i]
+                self.flags[i] = True
+                detected.append(entry)
+                if self.on_detection is not None:
+                    self.on_detection(entry, local - remote, session_id)
+        self.sessions_completed += 1
+        return detected
+
+    def clear_flags(self) -> None:
+        for i in range(len(self.flags)):
+            self.flags[i] = False
+
+    @property
+    def flagged_entries(self) -> list[Any]:
+        return [e for e, f in zip(self.entries, self.flags) if f]
+
+    @property
+    def memory_bits(self) -> int:
+        """§4.3: 80 bits per entry, both sides and protocol state included."""
+        return 80 * len(self.entries)
+
+
+class DedicatedReceiverCounters:
+    """Downstream-side dedicated counters: driven purely by packet tags."""
+
+    def __init__(self, n_entries: int):
+        self.counters = [0] * n_entries
+
+    # -- ReceiverStrategy interface ------------------------------------------
+
+    def begin_session(self, session_id: int) -> None:
+        for i in range(len(self.counters)):
+            self.counters[i] = 0
+
+    def process_packet(self, packet: Packet, session_id: int) -> bool:
+        """Count a tagged packet; returns True if it belonged to us."""
+        if not packet.tag_dedicated or packet.tag is None:
+            return False
+        if packet.tag_session != session_id:
+            return False  # stale tag from a previous session: ignore
+        idx = packet.tag[0]
+        if 0 <= idx < len(self.counters):
+            self.counters[idx] += 1
+            return True
+        return False
+
+    def snapshot(self) -> list[int]:
+        return list(self.counters)

@@ -1,0 +1,142 @@
+"""Network-wide FANcY deployment (§4.3).
+
+"FANcY is designed to be deployed at every switch, so that it can monitor
+all links, one by one; this maximizes accuracy of failure detection and
+localization."  :class:`FancyDeployment` instantiates one
+:class:`~repro.core.detector.FancyLinkMonitor` per directed switch-to-
+switch adjacency, shares one failure log, and answers the operator
+question the paper's Figure 1 sketches: *which port of which switch* is
+losing *which entries*.
+
+With per-link monitors, a failure between S2 and S3 produces reports only
+from the S2→S3 monitor — per-hop localization that a partial deployment
+cannot provide (see ``examples/partial_deployment.py`` for the contrast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Optional
+
+from ..simulator.engine import Simulator
+from ..simulator.switch import Switch
+from .detector import FancyConfig, FancyLinkMonitor
+from .output import FailureLog, FailureReport
+
+__all__ = ["LinkSpec", "FancyDeployment"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed adjacency to monitor."""
+
+    upstream: Switch
+    up_port: int
+    downstream: Switch
+    down_port: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.upstream.name}:{self.up_port}->{self.downstream.name}:{self.down_port}"
+
+
+class FancyDeployment:
+    """FANcY on every listed link, with an aggregated view.
+
+    Args:
+        sim: event engine.
+        links: directed adjacencies to monitor.
+        config: base configuration; each monitor gets a distinct seed
+            derived from it so hash functions differ across links (as
+            independent switches' would).
+        config_for: optional per-link override hook, e.g. to give border
+            links a bigger memory budget.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        links: Iterable[LinkSpec],
+        config: Optional[FancyConfig] = None,
+        config_for: Optional[Callable[[LinkSpec], Optional[FancyConfig]]] = None,
+    ):
+        self.sim = sim
+        self.links = list(links)
+        if not self.links:
+            raise ValueError("deployment needs at least one link")
+        base = config or FancyConfig()
+        self.monitors: dict[str, FancyLinkMonitor] = {}
+        for i, link in enumerate(self.links):
+            link_config = None
+            if config_for is not None:
+                link_config = config_for(link)
+            if link_config is None:
+                link_config = replace(base, seed=base.seed + i * 1009)
+            # Each monitor keeps its own log so reports stay attributable
+            # to the link that raised them.
+            self.monitors[link.name] = FancyLinkMonitor(
+                sim, link.upstream, link.up_port,
+                link.downstream, link.down_port,
+                link_config, log=FailureLog(),
+            )
+
+    @classmethod
+    def on_chain(cls, sim: Simulator, switches: list[Switch],
+                 forward_out_port: int = 1, forward_in_port: int = 2,
+                 config: Optional[FancyConfig] = None) -> "FancyDeployment":
+        """Deploy on every forward link of a switch chain (the
+        :class:`~repro.simulator.topology.ChainTopology` port layout)."""
+        links = [
+            LinkSpec(switches[i], forward_out_port, switches[i + 1], forward_in_port)
+            for i in range(len(switches) - 1)
+        ]
+        return cls(sim, links, config=config)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, stagger_s: float = 0.0) -> None:
+        """Start all monitors; ``stagger_s`` desynchronizes their sessions
+        so control bursts do not align across links."""
+        for i, monitor in enumerate(self.monitors.values()):
+            monitor.start(delay=i * stagger_s)
+
+    def stop(self) -> None:
+        for monitor in self.monitors.values():
+            monitor.stop()
+
+    # -- aggregated operator views ---------------------------------------------
+
+    def monitor(self, link_name: str) -> FancyLinkMonitor:
+        return self.monitors[link_name]
+
+    def reports_by_link(self) -> dict[str, list[FailureReport]]:
+        """Per-link report lists (the operator's localization view)."""
+        return {
+            name: list(monitor.log.reports)
+            for name, monitor in self.monitors.items()
+        }
+
+    def all_reports(self) -> list[tuple[str, FailureReport]]:
+        """Every report across the deployment, time-ordered, with the
+        raising link's name."""
+        merged = [
+            (report.time, name, report)
+            for name, monitor in self.monitors.items()
+            for report in monitor.log.reports
+        ]
+        return [(name, report) for _t, name, report in sorted(merged, key=lambda x: x[0])]
+
+    def localize(self, entry: Any) -> list[str]:
+        """Links whose monitor currently flags ``entry`` — the paper's
+        localization output (switch port + affected traffic)."""
+        return [
+            name for name, monitor in self.monitors.items()
+            if monitor.entry_is_flagged(entry)
+        ]
+
+    def flagged_entries(self) -> dict[str, list[Any]]:
+        """Per-link dedicated-counter flags."""
+        return {
+            name: monitor.flagged_entries()
+            for name, monitor in self.monitors.items()
+        }

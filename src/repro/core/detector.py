@@ -1,0 +1,371 @@
+"""FANcY switch integration: wiring counters, trees and FSMs onto links.
+
+:class:`FancyLinkMonitor` deploys FANcY on one directed link A→B: it
+installs the sender side (dedicated counters + tree + their FSMs) in A's
+egress pipeline on the port facing B, and the receiver side in B's ingress
+pipeline on the port facing A — honouring the §3 placement (count after
+the upstream TM, before the downstream TM).
+
+Dedicated counters and the hash-based tree run as separate FSM pairs with
+independent session durations — counters are exchanged every 50 ms and the
+tree zooms every 200 ms in the paper's evaluation (§5.1).
+
+The monitor works unchanged across non-adjacent switches (partial
+deployment, §4.3): control messages are ordinary packets that middle
+switches forward, so a monitor across a :class:`~repro.simulator.topology.
+ChainTopology` detects failures anywhere on the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..simulator.engine import Simulator
+from ..simulator.packet import MIN_FRAME_BYTES, Packet, PacketKind
+from ..simulator.switch import Switch
+from .classify import EntryClassifier, by_prefix
+from .counters import DedicatedReceiverCounters, DedicatedSenderCounters
+from .hashtree import HashTree, HashTreeParams
+from .output import FailureKind, FailureLog, FailureReport, HashPathFlags
+from .protocol import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_RTX_TIMEOUT,
+    DEFAULT_TWAIT,
+    FancyReceiver,
+    FancySender,
+)
+from .zooming import TreeReceiverStrategy, TreeSenderStrategy
+
+__all__ = ["FancyConfig", "FancyLinkMonitor", "claim_monitored_port"]
+
+
+def claim_monitored_port(switch: Switch, port: int) -> None:
+    """Reserve a switch egress port for exactly one counting monitor.
+
+    Packets carry a single FANcY tag (2 bytes on the wire, §5.3), so two
+    monitors tagging on the same port would silently corrupt each other's
+    counts.  Every monitor type in this repository claims its port here;
+    a second claim fails loudly instead.
+    """
+    claimed: set[int] = getattr(switch, "_fancy_monitored_ports", set())
+    if port in claimed:
+        raise RuntimeError(
+            f"{switch.name} port {port} already has a counting monitor; "
+            "packets have a single tag field — run one monitor per port "
+            "(use separate simulations or a composed classifier instead)"
+        )
+    claimed.add(port)
+    switch._fancy_monitored_ports = claimed
+
+
+@dataclass
+class FancyConfig:
+    """Configuration of a FANcY deployment on one link.
+
+    Defaults reflect the paper's evaluation setup (§5): 500 dedicated
+    counters exchanged every 50 ms, and a depth-3 split-2 width-190
+    pipelined tree zooming every 200 ms.
+    """
+
+    high_priority: Sequence[Any] = field(default_factory=list)
+    tree_params: Optional[HashTreeParams] = field(
+        default_factory=lambda: HashTreeParams(width=190, depth=3, split=2, pipelined=True)
+    )
+    dedicated_session_s: float = 0.050
+    tree_session_s: float = 0.200
+    rtx_timeout_s: float = DEFAULT_RTX_TIMEOUT
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    twait_s: float = DEFAULT_TWAIT
+    seed: int = 0
+    suppress_known: bool = True
+    #: Entry classifier (§1): maps packets to entry keys.  ``None`` means
+    #: the destination prefix (the evaluation's setting); root-cause
+    #: analyses can install e.g. per-packet-size classifiers from
+    #: :mod:`repro.core.classify` without touching the downstream switch.
+    classifier: Optional[EntryClassifier] = None
+
+    @property
+    def enable_dedicated(self) -> bool:
+        return len(self.high_priority) > 0
+
+    @property
+    def enable_tree(self) -> bool:
+        return self.tree_params is not None
+
+    @classmethod
+    def from_monitoring_input(cls, spec, **overrides) -> "FancyConfig":
+        """Build a config from an operator :class:`~repro.core.entries.
+        MonitoringInput` via the §4.3 input translation.
+
+        Runs :func:`~repro.core.memory.plan_memory` — so the Figure 1
+        contract holds: if the high-priority set plus a usable tree do
+        not fit the memory budget, a
+        :class:`~repro.core.memory.MemoryBudgetError` propagates instead
+        of silently shrinking the request.
+        """
+        from .memory import plan_memory
+
+        plan = plan_memory(spec)
+        return cls(
+            high_priority=list(spec.high_priority),
+            tree_params=plan.tree,
+            **overrides,
+        )
+
+
+class FancyLinkMonitor:
+    """FANcY on one directed link between an upstream and downstream switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        upstream: Switch,
+        up_port: int,
+        downstream: Switch,
+        down_port: int,
+        config: Optional[FancyConfig] = None,
+        log: Optional[FailureLog] = None,
+    ):
+        self.sim = sim
+        self.upstream = upstream
+        self.up_port = up_port
+        self.downstream = downstream
+        self.down_port = down_port
+        self.config = config or FancyConfig()
+        self.log = log if log is not None else FailureLog()
+        self._id = f"{upstream.name}->{downstream.name}"
+        self._entry_of = self.config.classifier or by_prefix
+
+        cfg = self.config
+        self.dedicated_sender: Optional[FancySender] = None
+        self.dedicated_receiver: Optional[FancyReceiver] = None
+        self.tree_sender: Optional[FancySender] = None
+        self.tree_receiver: Optional[FancyReceiver] = None
+        self.tree_strategy: Optional[TreeSenderStrategy] = None
+        self.dedicated_strategy: Optional[DedicatedSenderCounters] = None
+        self.output_flags = HashPathFlags(seed=cfg.seed)
+
+        if cfg.enable_dedicated:
+            self._build_dedicated()
+        if cfg.enable_tree:
+            self._build_tree()
+        self._install_hooks()
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_dedicated(self) -> None:
+        cfg = self.config
+        fsm_id = f"{self._id}/dedicated"
+        n = len(cfg.high_priority)
+        report_size = max(MIN_FRAME_BYTES, (n * 32) // 8 + 30)
+        self.dedicated_strategy = DedicatedSenderCounters(
+            cfg.high_priority,
+            on_detection=self._on_dedicated_detection,
+            entry_of=self._entry_of,
+        )
+        self.dedicated_sender = FancySender(
+            self.sim,
+            fsm_id,
+            self._send_control_downstream,
+            self.dedicated_strategy,
+            session_duration=cfg.dedicated_session_s,
+            rtx_timeout=cfg.rtx_timeout_s,
+            max_attempts=cfg.max_attempts,
+            on_link_failure=self._on_link_failure,
+        )
+        self.dedicated_receiver = FancyReceiver(
+            self.sim,
+            fsm_id,
+            self._send_control_upstream,
+            DedicatedReceiverCounters(n),
+            twait=cfg.twait_s,
+            report_size_bytes=report_size,
+        )
+
+    def _build_tree(self) -> None:
+        cfg = self.config
+        fsm_id = f"{self._id}/tree"
+        params = cfg.tree_params
+        report_size = max(
+            MIN_FRAME_BYTES, (params.width * 32 * params.node_count()) // 8 + 30
+        )
+        tree = HashTree(params, seed=cfg.seed)
+        self.tree_strategy = TreeSenderStrategy(
+            tree,
+            on_report=self._on_tree_report,
+            output_flags=self.output_flags,
+            suppress_known=cfg.suppress_known,
+            seed=cfg.seed,
+            now_fn=lambda: self.sim.now,
+            port=self.up_port,
+            entry_of=self._entry_of,
+        )
+        self.tree_sender = FancySender(
+            self.sim,
+            fsm_id,
+            self._send_control_downstream,
+            self.tree_strategy,
+            session_duration=cfg.tree_session_s,
+            rtx_timeout=cfg.rtx_timeout_s,
+            max_attempts=cfg.max_attempts,
+            on_link_failure=self._on_link_failure,
+            report_size_bytes=report_size,
+        )
+        self.tree_receiver = FancyReceiver(
+            self.sim,
+            fsm_id,
+            self._send_control_upstream,
+            TreeReceiverStrategy(params),
+            twait=cfg.twait_s,
+            report_size_bytes=report_size,
+        )
+
+    def _install_hooks(self) -> None:
+        claim_monitored_port(self.upstream, self.up_port)
+        self.upstream.add_egress_hook(self.up_port, self._upstream_egress)
+        self.upstream.add_ingress_hook(self.up_port, self._upstream_ingress, front=True)
+        self.downstream.add_ingress_hook(self.down_port, self._downstream_ingress, front=True)
+
+    # -- control transport ---------------------------------------------------------
+
+    def _send_control_downstream(self, kind: PacketKind, payload: dict, size: int) -> None:
+        packet = Packet(kind, entry=None, size=size, payload=payload)
+        self.upstream.inject(packet, self.up_port)
+
+    def _send_control_upstream(self, kind: PacketKind, payload: dict, size: int) -> None:
+        packet = Packet(kind, entry=None, size=size, payload=payload, reverse=True)
+        self.downstream.inject(packet, self.down_port)
+
+    # -- pipeline hooks ---------------------------------------------------------------
+
+    def _upstream_egress(self, packet: Packet, _out_port: int) -> bool:
+        """Egress pipeline of the upstream switch (after the TM)."""
+        if packet.kind is not PacketKind.DATA or packet.reverse:
+            return True
+        packet.clear_tag()  # stale tags from an upstream hop, if any
+        claimed = False
+        if self.dedicated_sender is not None:
+            claimed = self.dedicated_sender.process_packet(packet)
+        if not claimed and self.tree_sender is not None:
+            # Only best-effort entries go to the tree; packets of dedicated
+            # entries outside a dedicated session stay uncounted.
+            if (self.dedicated_strategy is None
+                    or not self.dedicated_strategy.owns(self._entry_of(packet))):
+                self.tree_sender.process_packet(packet)
+        return True
+
+    def _upstream_ingress(self, packet: Packet, _in_port: int) -> bool:
+        """Control responses (StartACK / Report) coming back from B."""
+        if packet.kind.is_control and packet.payload is not None:
+            fsm = packet.payload.get("fsm", "")
+            if self.dedicated_sender is not None and fsm == self.dedicated_sender.fsm_id:
+                self.dedicated_sender.on_control(packet.kind, packet.payload)
+                return False
+            if self.tree_sender is not None and fsm == self.tree_sender.fsm_id:
+                self.tree_sender.on_control(packet.kind, packet.payload)
+                return False
+        return True
+
+    def _downstream_ingress(self, packet: Packet, _in_port: int) -> bool:
+        """Ingress pipeline of the downstream switch (before the TM)."""
+        if packet.kind.is_control and packet.payload is not None:
+            fsm = packet.payload.get("fsm", "")
+            if self.dedicated_receiver is not None and fsm == self.dedicated_receiver.fsm_id:
+                self.dedicated_receiver.on_control(packet.kind, packet.payload)
+                return False
+            if self.tree_receiver is not None and fsm == self.tree_receiver.fsm_id:
+                self.tree_receiver.on_control(packet.kind, packet.payload)
+                return False
+            return True
+        if packet.kind is PacketKind.DATA and packet.is_tagged:
+            if packet.tag_dedicated:
+                if self.dedicated_receiver is not None:
+                    self.dedicated_receiver.process_packet(packet)
+            elif self.tree_receiver is not None:
+                self.tree_receiver.process_packet(packet)
+        return True
+
+    # -- detections ----------------------------------------------------------------------
+
+    def _on_dedicated_detection(self, entry: Any, lost: int, session_id: int) -> None:
+        self.log.record(
+            FailureReport(
+                FailureKind.DEDICATED_ENTRY,
+                self.sim.now,
+                entry=entry,
+                lost_packets=lost,
+                session_id=session_id,
+                port=self.up_port,
+            )
+        )
+
+    def _on_tree_report(self, report: FailureReport) -> None:
+        self.log.record(report)
+
+    def _on_link_failure(self, fsm_id: str, now: float) -> None:
+        self.log.record(
+            FailureReport(FailureKind.LINK_DOWN, now, entry=fsm_id, port=self.up_port)
+        )
+
+    # -- lifecycle --------------------------------------------------------------------------
+
+    def attach_congestion_guard(self, guard) -> None:
+        """Discard sessions overlapping congested periods (§4.3 fn. 2).
+
+        Only needed for partial deployments, where legacy switches' TM
+        drops happen between the two counting points; in a full per-link
+        deployment the §3 counter placement already excludes congestion.
+        Pass a started :class:`~repro.core.congestion.QueueGuard` watching
+        the path's devices.
+        """
+        from .congestion import GuardedSenderStrategy
+
+        if self.dedicated_sender is not None:
+            self.dedicated_sender.strategy = GuardedSenderStrategy(
+                self.dedicated_sender.strategy, guard, self.sim
+            )
+        if self.tree_sender is not None:
+            self.tree_sender.strategy = GuardedSenderStrategy(
+                self.tree_sender.strategy, guard, self.sim
+            )
+
+    def start(self, delay: float = 0.0) -> None:
+        """Open the first counting sessions (optionally staggered)."""
+        if self.dedicated_sender is not None:
+            self.sim.schedule(delay, self.dedicated_sender.start)
+        if self.tree_sender is not None:
+            self.sim.schedule(delay, self.tree_sender.start)
+
+    def stop(self) -> None:
+        for fsm in (self.dedicated_sender, self.tree_sender,
+                    self.dedicated_receiver, self.tree_receiver):
+            if fsm is not None:
+                fsm.stop()
+
+    # -- convenience queries -------------------------------------------------------------------
+
+    def flagged_entries(self) -> list[Any]:
+        """Entries flagged by dedicated counters."""
+        if self.dedicated_strategy is None:
+            return []
+        return self.dedicated_strategy.flagged_entries
+
+    def flagged_leaf_paths(self) -> set[tuple[int, ...]]:
+        """Leaf hash paths flagged by the tree."""
+        if self.tree_strategy is None:
+            return set()
+        return set(self.tree_strategy.known_failed)
+
+    def entry_is_flagged(self, entry: Any) -> bool:
+        """Would the data plane consider ``entry`` failed right now?
+
+        Dedicated entries consult the 1-bit flag array; best-effort entries
+        consult the output Bloom filter with the entry's full hash path —
+        exactly what the rerouting application does per packet.
+        """
+        if self.dedicated_strategy is not None and self.dedicated_strategy.owns(entry):
+            return self.dedicated_strategy.flags[self.dedicated_strategy.index[entry]]
+        if self.tree_strategy is None:
+            return False
+        return self.output_flags.is_flagged(self.tree_strategy.tree.hash_path(entry))

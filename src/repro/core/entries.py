@@ -1,0 +1,67 @@
+"""Monitoring entries and the FANcY input specification.
+
+An *entry* is a subset of the header space defined by a match rule — in
+destination-routed ISP networks, typically a destination prefix (§1,
+Figure 1).  Operators hand FANcY a :class:`MonitoringInput`: the entries to
+track at high priority (dedicated counters), the best-effort entries
+(hash-based tree), and the per-switch memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["Priority", "MonitoringInput"]
+
+
+class Priority:
+    """Accuracy levels offered by FANcY (Figure 1)."""
+
+    HIGH = "high"
+    BEST_EFFORT = "best_effort"
+
+
+@dataclass(frozen=True)
+class MonitoringInput:
+    """Operator-facing input to a FANcY switch.
+
+    Attributes:
+        high_priority: entries tracked by dedicated counters, in priority
+            order (the order matters only if the budget check fails and
+            the operator wants to know what fits).
+        best_effort: entries covered collectively by the hash-based tree.
+            May be empty, in which case the tree still monitors any entry
+            whose packets show up (best-effort coverage is universal; the
+            list is used by experiments to enumerate the ground truth).
+        memory_bytes: per-port memory budget in bytes.
+    """
+
+    high_priority: tuple = ()
+    best_effort: tuple = ()
+    memory_bytes: int = 20 * 1024
+
+    def __init__(
+        self,
+        high_priority: Iterable[Any] = (),
+        best_effort: Iterable[Any] = (),
+        memory_bytes: int = 20 * 1024,
+    ):
+        object.__setattr__(self, "high_priority", tuple(high_priority))
+        object.__setattr__(self, "best_effort", tuple(best_effort))
+        object.__setattr__(self, "memory_bytes", int(memory_bytes))
+        if self.memory_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        overlap = set(self.high_priority) & set(self.best_effort)
+        if overlap:
+            raise ValueError(
+                f"entries cannot be both high priority and best effort: {sorted(overlap)[:5]}"
+            )
+
+    @property
+    def n_high_priority(self) -> int:
+        return len(self.high_priority)
+
+    @property
+    def n_best_effort(self) -> int:
+        return len(self.best_effort)

@@ -1,0 +1,199 @@
+"""The FANcY hash-based tree (§4.2).
+
+A hash-based tree is a balanced k-ary tree whose nodes are fixed-size
+arrays of ``width`` counters.  A packet maps to one counter per level via
+a level-specific hash function; the list of counter indices from root to
+leaf is the packet's *hash path*.  A Bloom filter is the depth-1 special
+case.
+
+Two cooperating classes:
+
+* :class:`HashTreeParams` / :class:`HashTree` — geometry, per-level hash
+  functions, hash-path computation (upstream side: hashes entries).
+* :class:`TreeCounters` — the runtime counter store for one counting
+  session.  Nodes are keyed by the *zoom path* that reached them (the
+  sequence of counter indices chosen at each ancestor level), so the
+  downstream can maintain it purely from packet tags, never hashing
+  entries itself — exactly the property §4.2 calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+from .bloom import stable_hash
+
+__all__ = ["HashTreeParams", "HashTree", "TreeCounters", "NodePath"]
+
+#: A node is identified by the sequence of counter indices zoomed through
+#: to reach it; the root is the empty tuple.
+NodePath = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HashTreeParams:
+    """Geometry of a hash-based tree.
+
+    Attributes:
+        width: counters per node (w).
+        depth: levels, root to leaf (d).
+        split: simultaneous zoom-in branches per node (k).
+        pipelined: whether the zooming algorithm may explore several
+            levels at once (§4.2 "pipelining approach"); affects memory
+            accounting (Appendix A.3) and multi-entry detection speed.
+    """
+
+    width: int
+    depth: int
+    split: int = 1
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if self.split < 1:
+            raise ValueError(f"split must be >= 1, got {self.split}")
+
+    @property
+    def n_hash_paths(self) -> int:
+        """Total number of distinct hash paths: w^d (Appendix A.2)."""
+        return self.width ** self.depth
+
+    def node_count(self) -> int:
+        """Number of nodes that must be materialized (Appendix A.3)."""
+        k, d = self.split, self.depth
+        if self.pipelined:
+            if k > 1:
+                return (k ** d - 1) // (k - 1)
+            return d
+        if k > 1:
+            return k ** (d - 1)
+        return 1
+
+    def counter_memory_bits(self, counter_bits: int = 32) -> int:
+        """Memory for the counters alone, both sides of the session
+        (Appendix A.3: ``2 * 32 * w * nodes``)."""
+        return 2 * counter_bits * self.width * self.node_count()
+
+
+class HashTree:
+    """Hash-path computation for a tree geometry.
+
+    The upstream switch uses this to map entries to per-level counter
+    indices.  Hash functions are seeded deterministically so that repeated
+    experiments are reproducible, and differently per level so levels are
+    independent.
+    """
+
+    def __init__(self, params: HashTreeParams, seed: int = 0):
+        self.params = params
+        self.seed = seed
+        self._cache: dict[Any, tuple[int, ...]] = {}
+
+    def level_hash(self, entry: Any, level: int) -> int:
+        """H_level(entry) in [0, width)."""
+        if not 0 <= level < self.params.depth:
+            raise IndexError(f"level {level} out of range for depth {self.params.depth}")
+        return stable_hash(entry, self.seed * 1000 + level) % self.params.width
+
+    def hash_path(self, entry: Any) -> tuple[int, ...]:
+        """The full hash path of an entry, root to leaf (cached)."""
+        path = self._cache.get(entry)
+        if path is None:
+            path = tuple(self.level_hash(entry, j) for j in range(self.params.depth))
+            self._cache[entry] = path
+        return path
+
+    def entries_on_path(self, entries: Iterable[Any], prefix: tuple[int, ...]) -> list[Any]:
+        """All entries whose hash path starts with ``prefix``.
+
+        Experiment code uses this to compute ground truth and false
+        positives; the data plane never enumerates entries.
+        """
+        n = len(prefix)
+        return [e for e in entries if self.hash_path(e)[:n] == prefix]
+
+
+class TreeCounters:
+    """Counter storage for one side of one counting session.
+
+    Only nodes that the zooming algorithm activated exist; the root always
+    does.  ``increment_path`` applies a packet tag: a tag of length L+1
+    increments the counter at every level 0..L along its prefix chain
+    (matching Figure 6b, where root counters keep being updated while a
+    deeper node is being populated).
+    """
+
+    def __init__(self, params: HashTreeParams):
+        self.params = params
+        self.nodes: dict[NodePath, list[int]] = {(): [0] * params.width}
+        self.packets = 0
+
+    def activate_node(self, path: NodePath) -> None:
+        """Materialize the node reached by zooming through ``path``."""
+        if len(path) >= self.params.depth:
+            raise ValueError(f"path {path} too deep for depth {self.params.depth}")
+        if path not in self.nodes:
+            self.nodes[path] = [0] * self.params.width
+
+    def increment_path(self, tag: tuple[int, ...]) -> None:
+        """Count a packet whose FANcY tag is ``tag`` (partial hash path)."""
+        self.packets += 1
+        for level in range(len(tag)):
+            node = self.nodes.get(tag[:level])
+            if node is not None:
+                node[tag[level]] += 1
+
+    def reset(self) -> None:
+        """Zero all counters, keeping the set of active nodes."""
+        for node in self.nodes.values():
+            for i in range(len(node)):
+                node[i] = 0
+        self.packets = 0
+
+    def deactivate_node(self, path: NodePath) -> None:
+        """Free the single node at ``path`` (the root cannot be freed)."""
+        if path != ():
+            self.nodes.pop(path, None)
+
+    def deactivate_below(self, path: NodePath) -> None:
+        """Free the node at ``path`` and all its descendants (zoom retreat)."""
+        doomed = [
+            p for p in self.nodes
+            if len(p) >= max(len(path), 1) and p[: len(path)] == path
+        ]
+        for p in doomed:
+            del self.nodes[p]
+
+    def node(self, path: NodePath) -> Optional[list[int]]:
+        return self.nodes.get(path)
+
+    def active_paths(self) -> Iterator[NodePath]:
+        return iter(self.nodes)
+
+    def snapshot(self) -> dict[NodePath, list[int]]:
+        """Copy of all counters — the payload of a Report message."""
+        return {path: list(counters) for path, counters in self.nodes.items()}
+
+    def mismatches(
+        self, remote: dict[NodePath, list[int]], path: NodePath
+    ) -> list[tuple[int, int]]:
+        """Compare the local node at ``path`` against the remote snapshot.
+
+        Returns ``(counter_index, local_minus_remote)`` for counters whose
+        local (sent) value exceeds the remote (received) value — i.e.
+        packets lost on the wire.  Counters are never incremented by the
+        downstream beyond the upstream value on a FIFO loss-only link.
+        """
+        local = self.nodes.get(path)
+        if local is None:
+            return []
+        remote_node = remote.get(path, [0] * self.params.width)
+        return [
+            (i, local[i] - remote_node[i])
+            for i in range(self.params.width)
+            if local[i] > remote_node[i]
+        ]

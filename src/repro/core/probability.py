@@ -1,0 +1,120 @@
+"""Detection-probability model.
+
+Explains the accuracy boundary of the Figure 7/9 heatmaps analytically.
+The paper attributes missed detections to two mechanisms:
+
+* **no drop at all** — at loss rate ``q`` and entry rate ``pps``, an
+  experiment of horizon ``T`` sees no dropped packet with probability
+  ``(1 - q)^(pps * T)`` (§5.1.1: "in 80 % of those experiments, no packet
+  is actually dropped during the 30 seconds");
+* **no three consecutive mismatching sessions** — the tree reports only
+  after ``depth`` consecutive counting sessions each observe a drop for
+  the zoomed counter (§5.1.2: "in 97.5 % of the experiments where FANcY
+  fails ... at no time are packets dropped during three consecutive
+  counting sessions").
+
+This module computes both, the resulting detection probability over an
+experiment horizon, and the minimum entry rate needed for a target TPR —
+the quantity Figure 8 measures empirically.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["DetectionProbabilityModel"]
+
+
+class DetectionProbabilityModel:
+    """Closed-form detection probabilities for one monitored entry.
+
+    Args:
+        session_s: counting-session duration (exchange frequency for
+            dedicated counters, zooming speed for the tree).
+        duty_cycle: fraction of wall-clock time spent counting (counting
+            pauses during control exchanges; ≈ session/(session+2 RTT)).
+        depth: consecutive mismatching sessions needed (1 for dedicated
+            counters, the tree's depth otherwise).
+    """
+
+    def __init__(self, session_s: float = 0.200, duty_cycle: float = 0.85,
+                 depth: int = 3):
+        if not 0 < duty_cycle <= 1:
+            raise ValueError("duty cycle must be in (0, 1]")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.session_s = session_s
+        self.duty_cycle = duty_cycle
+        self.depth = depth
+
+    # -- per-session quantities ------------------------------------------------
+
+    def packets_per_session(self, entry_pps: float) -> float:
+        return entry_pps * self.session_s * self.duty_cycle
+
+    def session_mismatch_probability(self, entry_pps: float, loss_rate: float) -> float:
+        """P[at least one of the session's packets is dropped]."""
+        if loss_rate <= 0:
+            return 0.0
+        n = self.packets_per_session(entry_pps)
+        if n <= 0:
+            return 0.0
+        # Expected-count Poissonization: packets are not integer per
+        # session; treat drops as Poisson with mean n*q.
+        return 1.0 - math.exp(-n * min(loss_rate, 1.0))
+
+    # -- horizon-level quantities -------------------------------------------------
+
+    def no_drop_probability(self, entry_pps: float, loss_rate: float,
+                            horizon_s: float) -> float:
+        """P[the whole experiment sees no drop at all] (§5.1.1's artifact)."""
+        if loss_rate <= 0:
+            return 1.0
+        packets = entry_pps * horizon_s * self.duty_cycle
+        return math.exp(-packets * min(loss_rate, 1.0))
+
+    def detection_probability(self, entry_pps: float, loss_rate: float,
+                              horizon_s: float) -> float:
+        """P[``depth`` consecutive mismatching sessions occur within the
+        horizon].
+
+        Uses the standard run-of-successes recurrence for a Bernoulli
+        chain of ``m`` sessions with per-session success ``p``.
+        """
+        p = self.session_mismatch_probability(entry_pps, loss_rate)
+        if p <= 0:
+            return 0.0
+        m = int(horizon_s / self.session_s)
+        if m < self.depth:
+            return 0.0
+        # Markov chain over the current mismatch streak (0..depth-1), with
+        # an absorbing "detected" state reached by a full-length run.
+        states = [1.0] + [0.0] * (self.depth - 1)
+        detected = 0.0
+        for _ in range(m):
+            new = [0.0] * self.depth
+            for streak, mass in enumerate(states):
+                if mass == 0.0:
+                    continue
+                if streak + 1 == self.depth:
+                    detected += mass * p
+                else:
+                    new[streak + 1] += mass * p
+                new[0] += mass * (1.0 - p)
+            states = new
+        return max(0.0, min(1.0, detected))
+
+    def minimum_entry_pps(self, loss_rate: float, horizon_s: float,
+                          target_tpr: float = 0.95) -> float:
+        """Smallest entry packet rate reaching ``target_tpr`` — the
+        Figure 8 quantity, found by bisection."""
+        lo, hi = 0.01, 1e7
+        if self.detection_probability(hi, loss_rate, horizon_s) < target_tpr:
+            return float("inf")
+        for _ in range(60):
+            mid = math.sqrt(lo * hi)
+            if self.detection_probability(mid, loss_rate, horizon_s) >= target_tpr:
+                hi = mid
+            else:
+                lo = mid
+        return hi

@@ -1,0 +1,308 @@
+"""The FANcY counting protocol and its finite state machines (§4.1).
+
+FANcY uses a stop-and-wait session protocol between an upstream (sender
+FSM) and a downstream (receiver FSM) switch:
+
+* sender: ``Idle → (send Start) WaitACK → (recv StartACK) Counting →
+  (timer) send Stop, WaitReport → (recv Report) Check → next session``;
+* receiver: ``Idle → (recv Start, reset, send StartACK) SendACK → (first
+  tagged packet) Counting → (recv Stop) WaitToSend → (T_wait) send Report
+  → Idle``.
+
+Start and Stop are retransmitted after ``T_rtx`` when the expected
+response does not arrive; after ``max_attempts`` (X = 5 in the paper) the
+sender reports a **link failure**.  The receiver caches its last Report so
+a retransmitted Stop (lost Report) can be answered.
+
+The FSMs are generic over a *counter strategy* so the same protocol
+machinery drives both dedicated counters and the hash-based tree — which
+run as separate FSM instances per port with their own session durations
+(counters exchanged every 50 ms, tree zooming every 200 ms in the paper's
+evaluation).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional, Protocol
+
+from ..simulator.engine import EventHandle, Simulator
+from ..simulator.packet import MIN_FRAME_BYTES, Packet, PacketKind
+
+__all__ = [
+    "SenderState",
+    "ReceiverState",
+    "SenderStrategy",
+    "ReceiverStrategy",
+    "FancySender",
+    "FancyReceiver",
+    "DEFAULT_RTX_TIMEOUT",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_TWAIT",
+]
+
+#: Retransmission timeout for Start/Stop control messages.  Must exceed
+#: the link RTT; 50 ms covers the paper's 10 ms-delay links comfortably.
+DEFAULT_RTX_TIMEOUT = 0.050
+
+#: §4.1: the sender reports a link failure after X = 5 unanswered attempts.
+DEFAULT_MAX_ATTEMPTS = 5
+
+#: Receiver-side grace period after Stop for late/reordered tagged packets.
+DEFAULT_TWAIT = 0.001
+
+
+class SenderState(enum.Enum):
+    IDLE = "idle"
+    WAIT_ACK = "wait_ack"
+    COUNTING = "counting"
+    WAIT_REPORT = "wait_report"
+    FAILED = "failed"
+
+
+class ReceiverState(enum.Enum):
+    IDLE = "idle"
+    SEND_ACK = "send_ack"       # ACK sent, waiting for the first tagged packet
+    COUNTING = "counting"
+    WAIT_TO_SEND = "wait_to_send"
+
+
+class SenderStrategy(Protocol):
+    """Counter logic plugged into the sender FSM."""
+
+    def begin_session(self, session_id: int) -> None: ...
+    def process_packet(self, packet: Packet, session_id: int) -> bool: ...
+    def end_session(self, remote_snapshot: Any, session_id: int) -> Any: ...
+
+
+class ReceiverStrategy(Protocol):
+    """Counter logic plugged into the receiver FSM."""
+
+    def begin_session(self, session_id: int) -> None: ...
+    def process_packet(self, packet: Packet, session_id: int) -> bool: ...
+    def snapshot(self) -> Any: ...
+
+
+#: Sends a control message toward the peer: (kind, payload, size_bytes).
+ControlSender = Callable[[PacketKind, dict, int], None]
+
+
+class FancySender:
+    """Sender (upstream) FSM for one counter group on one port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fsm_id: str,
+        send_control: ControlSender,
+        strategy: SenderStrategy,
+        session_duration: float,
+        rtx_timeout: float = DEFAULT_RTX_TIMEOUT,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        on_link_failure: Optional[Callable[[str, float], None]] = None,
+        report_size_bytes: int = MIN_FRAME_BYTES,
+    ):
+        if session_duration <= 0:
+            raise ValueError("session duration must be positive")
+        self.sim = sim
+        self.fsm_id = fsm_id
+        self.send_control = send_control
+        self.strategy = strategy
+        self.session_duration = session_duration
+        self.rtx_timeout = rtx_timeout
+        self.max_attempts = max_attempts
+        self.on_link_failure = on_link_failure
+        self.report_size_bytes = report_size_bytes
+
+        self.state = SenderState.IDLE
+        self.session_id = 0
+        self.attempts = 0
+        self.sessions_completed = 0
+        self.control_messages_sent = 0
+        self._timer: Optional[EventHandle] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the first counting session."""
+        if self.state is not SenderState.IDLE:
+            raise RuntimeError(f"sender {self.fsm_id} already started")
+        self._open_session()
+
+    def _open_session(self) -> None:
+        self.session_id += 1
+        self.strategy.begin_session(self.session_id)
+        self.state = SenderState.WAIT_ACK
+        self.attempts = 0
+        self._send_start()
+
+    def _send_start(self) -> None:
+        self.attempts += 1
+        if self.attempts > self.max_attempts:
+            self._declare_link_failure()
+            return
+        self._emit(PacketKind.FANCY_START, {})
+        self._arm_timer(self._send_start)
+
+    def _send_stop(self) -> None:
+        self.attempts += 1
+        if self.attempts > self.max_attempts:
+            self._declare_link_failure()
+            return
+        self._emit(PacketKind.FANCY_STOP, {})
+        self._arm_timer(self._send_stop)
+
+    def _emit(self, kind: PacketKind, extra: dict, size: int = MIN_FRAME_BYTES) -> None:
+        payload = {"fsm": self.fsm_id, "session": self.session_id}
+        payload.update(extra)
+        self.control_messages_sent += 1
+        self.send_control(kind, payload, size)
+
+    def _arm_timer(self, callback: Callable[[], None]) -> None:
+        self._cancel_timer()
+        self._timer = self.sim.schedule(self.rtx_timeout, callback)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _declare_link_failure(self) -> None:
+        self._cancel_timer()
+        self.state = SenderState.FAILED
+        if self.on_link_failure is not None:
+            self.on_link_failure(self.fsm_id, self.sim.now)
+
+    def stop(self) -> None:
+        """Tear the FSM down (experiment teardown)."""
+        self._cancel_timer()
+        self.state = SenderState.IDLE
+
+    # -- events ---------------------------------------------------------------
+
+    def on_control(self, kind: PacketKind, payload: dict) -> None:
+        """Handle a control message addressed to this FSM."""
+        if payload.get("session") != self.session_id:
+            return  # stale response from an earlier session
+        if kind is PacketKind.FANCY_START_ACK and self.state is SenderState.WAIT_ACK:
+            self._cancel_timer()
+            self.state = SenderState.COUNTING
+            self.attempts = 0
+            self._timer = self.sim.schedule(self.session_duration, self._close_session)
+        elif kind is PacketKind.FANCY_REPORT and self.state is SenderState.WAIT_REPORT:
+            self._cancel_timer()
+            self.strategy.end_session(payload.get("snapshot"), self.session_id)
+            self.sessions_completed += 1
+            self._open_session()
+
+    def _close_session(self) -> None:
+        self._timer = None
+        if self.state is not SenderState.COUNTING:
+            return
+        self.state = SenderState.WAIT_REPORT
+        self.attempts = 0
+        self._send_stop()
+
+    def process_packet(self, packet: Packet) -> bool:
+        """Offer an egress data packet to the counter strategy.
+
+        Only counts while in the Counting state — counting is stopped while
+        control messages are exchanged (§4.1), which is FANcY's accepted
+        accuracy trade-off.
+        """
+        if self.state is not SenderState.COUNTING:
+            return False
+        return self.strategy.process_packet(packet, self.session_id)
+
+
+class FancyReceiver:
+    """Receiver (downstream) FSM for one counter group on one port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fsm_id: str,
+        send_control: ControlSender,
+        strategy: ReceiverStrategy,
+        twait: float = DEFAULT_TWAIT,
+        report_size_bytes: int = MIN_FRAME_BYTES,
+    ):
+        self.sim = sim
+        self.fsm_id = fsm_id
+        self.send_control = send_control
+        self.strategy = strategy
+        self.twait = twait
+        self.report_size_bytes = report_size_bytes
+
+        self.state = ReceiverState.IDLE
+        self.session_id = 0
+        self.control_messages_sent = 0
+        self._last_report: Optional[dict] = None
+        self._timer: Optional[EventHandle] = None
+
+    def on_control(self, kind: PacketKind, payload: dict) -> None:
+        session = payload.get("session", -1)
+        if kind is PacketKind.FANCY_START:
+            if session > self.session_id:
+                # New session: reset counters and acknowledge.
+                self.session_id = session
+                self.strategy.begin_session(session)
+                self.state = ReceiverState.SEND_ACK
+                self._send(PacketKind.FANCY_START_ACK)
+            elif session == self.session_id and self.state in (
+                ReceiverState.SEND_ACK,
+                ReceiverState.COUNTING,
+            ):
+                # Retransmitted Start: our ACK was lost.  Counters were
+                # already reset for this session; just re-acknowledge.
+                # (If we are already Counting the sender cannot be — it
+                # only counts after receiving the ACK — so no packets have
+                # been tagged yet and re-ACKing is safe.)
+                self._send(PacketKind.FANCY_START_ACK)
+        elif kind is PacketKind.FANCY_STOP:
+            if session == self.session_id and self.state in (
+                ReceiverState.SEND_ACK,
+                ReceiverState.COUNTING,
+            ):
+                # Keep counting for T_wait to catch delayed tagged packets.
+                self.state = ReceiverState.WAIT_TO_SEND
+                self._timer = self.sim.schedule(self.twait, self._send_report)
+            elif session == self.session_id and self.state is ReceiverState.IDLE:
+                # Retransmitted Stop: our Report was lost — resend it.
+                if self._last_report is not None:
+                    self._send(PacketKind.FANCY_REPORT, self._last_report,
+                               self.report_size_bytes)
+
+    def _send_report(self) -> None:
+        self._timer = None
+        if self.state is not ReceiverState.WAIT_TO_SEND:
+            return
+        self._last_report = {"snapshot": self.strategy.snapshot()}
+        self.state = ReceiverState.IDLE
+        self._send(PacketKind.FANCY_REPORT, self._last_report, self.report_size_bytes)
+
+    def _send(self, kind: PacketKind, extra: Optional[dict] = None,
+              size: int = MIN_FRAME_BYTES) -> None:
+        payload = {"fsm": self.fsm_id, "session": self.session_id}
+        if extra:
+            payload.update(extra)
+        self.control_messages_sent += 1
+        self.send_control(kind, payload, size)
+
+    def process_packet(self, packet: Packet) -> bool:
+        """Offer an ingress data packet to the counter strategy."""
+        if self.state is ReceiverState.SEND_ACK:
+            counted = self.strategy.process_packet(packet, self.session_id)
+            if counted:
+                # First tagged packet of the session (Figure 3).
+                self.state = ReceiverState.COUNTING
+            return counted
+        if self.state in (ReceiverState.COUNTING, ReceiverState.WAIT_TO_SEND):
+            return self.strategy.process_packet(packet, self.session_id)
+        return False
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.state = ReceiverState.IDLE

@@ -1,0 +1,387 @@
+"""The FANcY zooming algorithm over hash-based trees (§4.2).
+
+The upstream switch incrementally builds partial hash paths of increasing
+length for counters affected by a failure: each counting session narrows
+the candidate set by one level, until mismatching *leaf* counters are
+reported.  Two operating modes are implemented:
+
+* **Pipelined** (``HashTreeParams.pipelined=True``, the mode evaluated in
+  §5): several explorations proceed simultaneously at different tree
+  levels.  Physical capacity follows Appendix A.3 — a full k-ary node
+  tree, i.e. at most ``k^j`` concurrent explorations with their frontier
+  at level ``j``, and up to ``k^(d-1)`` paths explored in ``d`` sessions.
+  Root-level counters keep monitoring all traffic throughout.
+
+* **Non-pipelined** (the Tofino prototype's mode, Appendix B.1): a single
+  zooming wave moves all-at-once through the levels — stage 0 counts at
+  the root for all packets; stage ``j>0`` counts only packets matching the
+  current frontier prefixes, in level-``j`` nodes.  On any session without
+  mismatches the wave resets to stage 0.
+
+Counting model: a packet's tag names the root counter (``tag[0]``) and the
+frontier node/counter (``tag[:-1]`` / ``tag[-1]``).  In pipelined mode both
+sides increment the root counter and the deepest matching frontier node;
+intermediate levels are not double-counted, keeping both sides consistent
+without the downstream ever hashing entries.
+
+Selection policy: among mismatching counters the algorithm zooms the ones
+with the **maximum difference** (§4.2 footnote 1: prioritizing the largest
+losses).  When ``suppress_known`` is set (default), root/interior
+candidates whose subtree already contains only known-failed leaf paths are
+deprioritized, which keeps multi-entry failure exploration from re-walking
+already-reported paths; this plays the role the selective-rerouting
+application plays in the paper's deployment (flagged traffic stops
+mismatching once rerouted).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from ..simulator.packet import Packet
+from .hashtree import HashTree, HashTreeParams, NodePath, TreeCounters
+from .output import FailureKind, FailureReport, HashPathFlags
+
+__all__ = ["TreeSenderStrategy", "TreeReceiverStrategy"]
+
+#: Report callback: receives a FailureReport.
+ReportCallback = Callable[[FailureReport], None]
+
+
+class TreeSenderStrategy:
+    """Upstream-side hash-tree counting and zooming.
+
+    Implements the SenderStrategy interface of the counting-protocol FSM:
+    ``begin_session`` / ``process_packet`` / ``end_session``.
+    """
+
+    def __init__(
+        self,
+        tree: HashTree,
+        on_report: Optional[ReportCallback] = None,
+        output_flags: Optional[HashPathFlags] = None,
+        suppress_known: bool = True,
+        seed: int = 0,
+        now_fn: Optional[Callable[[], float]] = None,
+        port: int = -1,
+        entry_of: Optional[Callable[[Packet], Any]] = None,
+    ):
+        self.tree = tree
+        self.params: HashTreeParams = tree.params
+        self.counters = TreeCounters(self.params)
+        self.on_report = on_report
+        self.output_flags = output_flags if output_flags is not None else HashPathFlags()
+        self.suppress_known = suppress_known
+        self.rng = random.Random(seed)
+        self.now_fn = now_fn or (lambda: 0.0)
+        self.port = port
+        #: Entry classifier (§1); defaults to the destination prefix.
+        self.entry_of = entry_of if entry_of is not None else (lambda p: p.entry)
+
+        #: Active explorations, keyed by frontier node path (len 1..d-1).
+        self.frontier: set[NodePath] = set()
+        #: Leaf hash paths already reported (mirror of the output Bloom
+        #: filter, exact, for suppression and duplicate avoidance).
+        self.known_failed: set[NodePath] = set()
+        #: Non-pipelined wave stage (0 = root); unused in pipelined mode.
+        self.stage = 0
+        self.sessions_completed = 0
+        #: First time any zooming started (the paper's "technical"
+        #: detection instant) and per-report bookkeeping.
+        self.first_zoom_time: Optional[float] = None
+        self.uniform_reports = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    def _level_capacity(self, level: int) -> int:
+        """Max concurrent explorations with frontier at ``level``."""
+        return self.params.split ** level
+
+    def _frontier_at(self, level: int) -> list[NodePath]:
+        return [p for p in self.frontier if len(p) == level]
+
+    def _subtree_fully_known(self, prefix: NodePath) -> bool:
+        """True if some known-failed leaf lies under ``prefix`` — used to
+        deprioritize re-exploration of already-reported failures."""
+        n = len(prefix)
+        return any(q[:n] == prefix for q in self.known_failed)
+
+    def _activate(self, path: NodePath) -> None:
+        self.frontier.add(path)
+        self.counters.activate_node(path)
+
+    def _deactivate(self, path: NodePath) -> None:
+        self.frontier.discard(path)
+        self.counters.deactivate_node(path)
+
+    # -- SenderStrategy interface ----------------------------------------------
+
+    def begin_session(self, session_id: int) -> None:
+        self.counters.reset()
+
+    def process_packet(self, packet: Packet, session_id: int) -> bool:
+        """Tag a best-effort packet and update local counters."""
+        hp = self.tree.hash_path(self.entry_of(packet))
+        tag = self._tag_for(hp)
+        if tag is None:
+            return False
+        packet.tag = tag
+        packet.tag_session = session_id
+        packet.tag_dedicated = False
+        self._count(tag)
+        return True
+
+    def _tag_for(self, hp: tuple[int, ...]) -> Optional[tuple[int, ...]]:
+        if self.params.pipelined or self.stage == 0:
+            # Deepest active frontier node along the packet's hash path.
+            deepest = 0
+            for level in range(1, self.params.depth):
+                if hp[:level] in self.frontier:
+                    deepest = level
+            if deepest == 0:
+                return hp[:1]
+            return hp[: deepest + 1]
+        # Non-pipelined zoom stage: only packets matching a frontier prefix
+        # are tagged/counted at all.
+        if hp[: self.stage] in self.frontier:
+            return hp[: self.stage + 1]
+        return None
+
+    def _count(self, tag: tuple[int, ...]) -> None:
+        """Increment root + frontier-node counters for a tag (both modes)."""
+        self.counters.packets += 1
+        if self.params.pipelined or self.stage == 0:
+            root = self.counters.node(())
+            if root is not None:
+                root[tag[0]] += 1
+            if len(tag) > 1:
+                node = self.counters.node(tag[:-1])
+                if node is not None:
+                    node[tag[-1]] += 1
+        else:
+            node = self.counters.node(tag[:-1])
+            if node is not None:
+                node[tag[-1]] += 1
+
+    def end_session(self, remote: dict[NodePath, list[int]], session_id: int) -> list[FailureReport]:
+        """Compare against the downstream snapshot and advance the zoom."""
+        reports = (
+            self._end_session_pipelined(remote, session_id)
+            if self.params.pipelined
+            else self._end_session_staged(remote, session_id)
+        )
+        self.sessions_completed += 1
+        for report in reports:
+            if self.on_report is not None:
+                self.on_report(report)
+        return reports
+
+    # -- pipelined mode ---------------------------------------------------------
+
+    def _end_session_pipelined(
+        self, remote: dict[NodePath, list[int]], session_id: int
+    ) -> list[FailureReport]:
+        now = self.now_fn()
+        reports: list[FailureReport] = []
+
+        root_mism = self.counters.mismatches(remote, ())
+        if len(root_mism) > self.params.width // 2:
+            # Majority of root counters disagree: uniform random failure,
+            # "localized" to all entries (§4.2).
+            self.uniform_reports += 1
+            reports.append(
+                FailureReport(FailureKind.UNIFORM, now, lost_packets=sum(d for _, d in root_mism),
+                              session_id=session_id, port=self.port)
+            )
+            return reports
+
+        # Advance existing explorations, deepest first so freed capacity is
+        # visible to shallower spawns within the same session end.
+        for path in sorted(self.frontier, key=len, reverse=True):
+            if path not in self.frontier:
+                continue
+            mism = self.counters.mismatches(remote, path)
+            if not mism:
+                # Branch went quiet: transient loss or wrong path — retreat.
+                self._deactivate(path)
+                continue
+            level = len(path)
+            if level == self.params.depth - 1:
+                # Leaf level: report every mismatching leaf counter.
+                for idx, diff in mism:
+                    leaf = path + (idx,)
+                    if leaf not in self.known_failed:
+                        self.known_failed.add(leaf)
+                        self.output_flags.flag(leaf)
+                        reports.append(
+                            FailureReport(FailureKind.TREE_LEAF, now, hash_path=leaf,
+                                          lost_packets=diff, session_id=session_id,
+                                          port=self.port)
+                        )
+                self._deactivate(path)
+                continue
+            # Interior: the frontier moves down — free this node, then spawn
+            # up to `split` children on the max-difference mismatching
+            # counters, within the next level's capacity.
+            self._deactivate(path)
+            self._spawn_children(path, mism, level + 1)
+
+        # Start new explorations from mismatching root counters.
+        if root_mism:
+            if self.first_zoom_time is None:
+                self.first_zoom_time = now
+            self._spawn_children((), root_mism, 1)
+        return reports
+
+    def _spawn_children(
+        self, parent: NodePath, mism: list[tuple[int, int]], child_level: int
+    ) -> None:
+        capacity = self._level_capacity(child_level) - len(self._frontier_at(child_level))
+        budget = min(self.params.split, capacity)
+        if budget <= 0:
+            return
+        candidates = [
+            (idx, diff) for idx, diff in mism if parent + (idx,) not in self.frontier
+        ]
+        if self.suppress_known:
+            fresh = [c for c in candidates if not self._subtree_fully_known(parent + (c[0],))]
+            stale = [c for c in candidates if self._subtree_fully_known(parent + (c[0],))]
+            ordered = self._by_max_difference(fresh) + self._by_max_difference(stale)
+        else:
+            ordered = self._by_max_difference(candidates)
+        for idx, _diff in ordered[:budget]:
+            self._activate(parent + (idx,))
+
+    def _by_max_difference(self, candidates: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        """Sort by descending loss difference, random tie-break."""
+        return sorted(candidates, key=lambda c: (-c[1], self.rng.random()))
+
+    # -- non-pipelined (staged) mode ----------------------------------------------
+
+    def _end_session_staged(
+        self, remote: dict[NodePath, list[int]], session_id: int
+    ) -> list[FailureReport]:
+        now = self.now_fn()
+        reports: list[FailureReport] = []
+
+        if self.stage == 0:
+            root_mism = self.counters.mismatches(remote, ())
+            if len(root_mism) > self.params.width // 2:
+                self.uniform_reports += 1
+                reports.append(
+                    FailureReport(FailureKind.UNIFORM, now,
+                                  lost_packets=sum(d for _, d in root_mism),
+                                  session_id=session_id, port=self.port)
+                )
+                return reports
+            if root_mism:
+                if self.first_zoom_time is None:
+                    self.first_zoom_time = now
+                self._reset_wave()
+                self._spawn_wave((), root_mism)
+                if self.frontier:
+                    self.stage = 1
+            return reports
+
+        # Stage >= 1: every frontier node sits at level == stage.
+        next_frontier_sources: list[tuple[NodePath, list[tuple[int, int]]]] = []
+        for path in list(self.frontier):
+            mism = self.counters.mismatches(remote, path)
+            if mism:
+                next_frontier_sources.append((path, mism))
+        if not next_frontier_sources:
+            self._reset_wave()
+            return reports
+
+        if self.stage == self.params.depth - 1:
+            for path, mism in next_frontier_sources:
+                for idx, diff in mism:
+                    leaf = path + (idx,)
+                    if leaf not in self.known_failed:
+                        self.known_failed.add(leaf)
+                        self.output_flags.flag(leaf)
+                        reports.append(
+                            FailureReport(FailureKind.TREE_LEAF, now, hash_path=leaf,
+                                          lost_packets=diff, session_id=session_id,
+                                          port=self.port)
+                        )
+            self._reset_wave()
+            return reports
+
+        # Move the whole wave one level deeper.
+        for path in list(self.frontier):
+            self._deactivate(path)
+        for path, mism in next_frontier_sources:
+            self._spawn_wave(path, mism)
+        self.stage += 1
+        return reports
+
+    def _reset_wave(self) -> None:
+        for path in list(self.frontier):
+            self._deactivate(path)
+        self.stage = 0
+
+    def _spawn_wave(self, parent: NodePath, mism: list[tuple[int, int]]) -> None:
+        candidates = list(mism)
+        if self.suppress_known:
+            fresh = [c for c in candidates if not self._subtree_fully_known(parent + (c[0],))]
+            stale = [c for c in candidates if self._subtree_fully_known(parent + (c[0],))]
+            ordered = self._by_max_difference(fresh) + self._by_max_difference(stale)
+        else:
+            ordered = self._by_max_difference(candidates)
+        for idx, _diff in ordered[: self.params.split]:
+            self._activate(parent + (idx,))
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def is_zooming(self) -> bool:
+        return bool(self.frontier)
+
+    def active_explorations(self) -> list[NodePath]:
+        return sorted(self.frontier)
+
+
+class TreeReceiverStrategy:
+    """Downstream-side tree counters, driven purely by packet tags.
+
+    The receiver never hashes entries: tags name the root counter and the
+    frontier node/counter (§4.2), and nodes are materialized on demand the
+    first time a tag references them.
+    """
+
+    def __init__(self, params: HashTreeParams):
+        self.params = params
+        self.counters = TreeCounters(params)
+
+    def begin_session(self, session_id: int) -> None:
+        # Fresh session: drop all zoom nodes, keep (and zero) the root.
+        self.counters = TreeCounters(self.params)
+
+    def process_packet(self, packet: Packet, session_id: int) -> bool:
+        if packet.tag is None or packet.tag_dedicated:
+            return False
+        if packet.tag_session != session_id:
+            return False  # stale tag from a closed session
+        tag = packet.tag
+        self.counters.packets += 1
+        if self.params.pipelined or len(tag) == 1:
+            root = self.counters.node(())
+            root[tag[0]] += 1
+            if len(tag) > 1:
+                node = self.counters.node(tag[:-1])
+                if node is None:
+                    self.counters.activate_node(tag[:-1])
+                    node = self.counters.node(tag[:-1])
+                node[tag[-1]] += 1
+        else:
+            node = self.counters.node(tag[:-1])
+            if node is None:
+                self.counters.activate_node(tag[:-1])
+                node = self.counters.node(tag[:-1])
+            node[tag[-1]] += 1
+        return True
+
+    def snapshot(self) -> dict[NodePath, list[int]]:
+        return self.counters.snapshot()

@@ -1,0 +1,95 @@
+"""Experiment fig2 — NetSeer required memory (Figure 2).
+
+Regenerates the three curves (64 ports × 100/200/400 Gbps) of required
+per-switch buffer memory as a function of inter-switch link latency, from
+the analytical model, and *confirms by simulation* (as the paper does in
+ns-3) with the executable ring-buffer model: at ISP-like latency and rate
+the buffer wraps before acknowledgements return and NetSeer loses
+per-entry visibility.
+"""
+
+from __future__ import annotations
+
+from ..baselines.netseer import NetSeerBuffer, NetSeerModel
+from .report import render_series
+
+__all__ = ["run", "render", "simulate_operational", "LATENCIES", "BANDWIDTHS"]
+
+LATENCIES = (100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 30e-3, 100e-3)
+BANDWIDTHS = (100e9, 200e9, 400e9)
+
+#: In-switch application memory available (§2.3: "order of few MBs").
+AVAILABLE_BYTES = 15e6
+
+
+def run(model: NetSeerModel | None = None) -> dict:
+    model = model or NetSeerModel()
+    curves = model.figure2(LATENCIES, BANDWIDTHS, n_ports=64)
+    operational = {
+        bw: {
+            lat: model.operational(64, bw, lat, AVAILABLE_BYTES)
+            for lat in LATENCIES
+        }
+        for bw in BANDWIDTHS
+    }
+    return {"curves": curves, "operational": operational, "available_mb": AVAILABLE_BYTES / 1e6}
+
+
+def simulate_operational(
+    port_bandwidth_bps: float,
+    link_latency_s: float,
+    available_bytes: float = AVAILABLE_BYTES,
+    n_ports: int = 64,
+    horizon_s: float = 0.2,
+    time_scale: float = 1e-3,
+    model: NetSeerModel | None = None,
+) -> dict:
+    """Simulated confirmation for one (bandwidth, latency) point.
+
+    Drives the ring buffer with a deterministic packet arrival process at
+    the port's line rate, scaled down by ``time_scale`` in both rate and
+    buffer capacity so the Python loop stays tractable — the
+    wrap-before-ack behaviour depends only on the rate × RTT / capacity
+    ratio, which scaling preserves.
+    """
+    model = model or NetSeerModel()
+    pps = port_bandwidth_bps / (model.packet_size * 8) * time_scale
+    per_port_bytes = available_bytes / n_ports
+    capacity = max(1, int(per_port_bytes / model.record_bytes * time_scale))
+    rtt = link_latency_s * model.rtt_factor
+    buffer = NetSeerBuffer(capacity, rtt)
+    interval = 1.0 / pps
+    now, pid = 0.0, 0
+    while now < horizon_s:
+        buffer.on_send(pid, now)
+        pid += 1
+        now += interval
+    return {
+        "operational": buffer.operational,
+        "visibility_loss": buffer.visibility_loss_fraction,
+        "sent": buffer.sent,
+    }
+
+
+def render(result: dict) -> str:
+    series = {
+        f"64x{int(bw / 1e9)}G (MB)": [(lat * 1e3, mb) for lat, mb in curve.items()]
+        for bw, curve in result["curves"].items()
+    }
+    text = render_series(
+        "Figure 2 — NetSeer required memory per switch vs. link latency",
+        series,
+        x_label="latency (ms)",
+    )
+    ops = result["operational"]
+    lines = [text, "", f"operational with {result['available_mb']:.0f} MB available:"]
+    for bw, points in ops.items():
+        ok = [f"{lat * 1e3:g}ms:{'yes' if v else 'NO'}" for lat, v in points.items()]
+        lines.append(f"  64x{int(bw / 1e9)}G  " + "  ".join(ok))
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = render(run())
+    print(text)
+    return text

@@ -1,0 +1,112 @@
+"""Experiment fig8 — minimum entry size vs. zooming speed (Figure 8).
+
+For each zooming speed (10/50/100/200 ms) and loss rate, finds the
+smallest entry in the size grid for which the tree reaches TPR ≥95 %.
+Expected shape (paper): all zooming speeds reach high TPR once entries
+drive a reasonable amount of traffic; requirements are similar for speeds
+≥50 ms, while very fast zooming (10 ms) needs larger entries at low loss
+rates — a too-short counting session rarely observes drops in three
+consecutive sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..traffic.synthetic import ENTRY_SIZE_GRID, EntrySize
+from .report import render_table
+from .runner import ExperimentSpec, run_cell
+
+__all__ = ["Fig8Config", "run", "render", "main"]
+
+#: Zooming speeds swept in Figure 8.
+ZOOMING_SPEEDS = (0.010, 0.050, 0.100, 0.200)
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    zooming_speeds: tuple[float, ...] = ZOOMING_SPEEDS
+    loss_rates: tuple[float, ...] = (1.0, 0.5, 0.1, 0.001)
+    #: Candidate sizes, smallest first (Figure 8's y axis is the size rank).
+    sizes: tuple[EntrySize, ...] = tuple(reversed(ENTRY_SIZE_GRID))
+    tpr_threshold: float = 0.95
+    repetitions: int = 2
+    duration_s: float = 10.0
+    max_pps_per_entry: Optional[float] = 200
+    n_background: int = 5
+    seed: int = 0
+
+
+QUICK_CONFIG = Fig8Config(
+    zooming_speeds=(0.010, 0.050, 0.200),
+    loss_rates=(1.0, 0.1),
+    sizes=tuple(reversed(ENTRY_SIZE_GRID[::3])),
+    repetitions=1,
+    duration_s=8.0,
+    max_pps_per_entry=150,
+    n_background=3,
+)
+
+
+def minimum_entry_rank(
+    zooming_speed: float,
+    loss_rate: float,
+    config: Fig8Config,
+) -> Optional[int]:
+    """Smallest size rank (0 = smallest entry) reaching the TPR threshold.
+
+    Scans sizes from smallest up; once a size passes, returns its rank —
+    the paper's monotonicity assumption (bigger entries only get easier).
+    """
+    for rank, size in enumerate(config.sizes):
+        spec = ExperimentSpec(
+            entry_size=size,
+            loss_rate=loss_rate,
+            mode="tree",
+            tree_session_s=zooming_speed,
+            duration_s=config.duration_s,
+            n_background=config.n_background,
+            max_pps_per_entry=config.max_pps_per_entry,
+            seed=config.seed + rank,
+        )
+        cell = run_cell(spec, repetitions=config.repetitions)
+        if cell.avg_tpr >= config.tpr_threshold:
+            return rank
+    return None
+
+
+def run(config: Optional[Fig8Config] = None, quick: bool = True) -> dict:
+    config = config or (QUICK_CONFIG if quick else Fig8Config())
+    ranks: dict[tuple[float, float], Optional[int]] = {}
+    for speed in config.zooming_speeds:
+        for loss in config.loss_rates:
+            ranks[(speed, loss)] = minimum_entry_rank(speed, loss, config)
+    return {
+        "ranks": ranks,
+        "sizes": [s.label for s in config.sizes],
+        "config": config,
+    }
+
+
+def render(result: dict) -> str:
+    config: Fig8Config = result["config"]
+    headers = ["zooming speed"] + [f"loss {r:g}" for r in config.loss_rates]
+    rows = []
+    for speed in config.zooming_speeds:
+        row = [f"{speed * 1e3:g} ms"]
+        for loss in config.loss_rates:
+            rank = result["ranks"][(speed, loss)]
+            row.append("none" if rank is None else result["sizes"][rank])
+        rows.append(row)
+    return render_table(
+        "Figure 8 — minimum entry size for TPR >= 95% per zooming speed",
+        headers,
+        rows,
+    )
+
+
+def main(quick: bool = True) -> str:
+    text = render(run(quick=quick))
+    print(text)
+    return text

@@ -1,0 +1,129 @@
+"""Shared machinery for the Figure 7 / 9 heatmap experiments.
+
+A heatmap sweeps (entry size × loss rate) cells; each cell runs several
+randomized repetitions of an entry-failure experiment and aggregates TPR
+and average detection time.  ``HeatmapScale`` holds the cost knobs: the
+paper-faithful configuration (30 s horizon, 10 repetitions, uncapped
+rates) versus the reduced default that preserves shape at tractable cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..traffic.synthetic import ENTRY_SIZE_GRID, LOSS_RATES, EntrySize
+from .metrics import CellResult
+from .report import render_heatmap
+from .runner import ExperimentSpec, run_cell
+
+__all__ = ["HeatmapScale", "QUICK_SCALE", "PAPER_SCALE", "run_heatmap", "render_heatmap_pair"]
+
+
+@dataclass(frozen=True)
+class HeatmapScale:
+    """Cost/fidelity knobs for a heatmap sweep."""
+
+    rows: tuple[EntrySize, ...]
+    loss_rates: tuple[float, ...]
+    repetitions: int
+    duration_s: float
+    max_pps_per_entry: Optional[float]
+    n_background: int
+    n_failed: int = 1
+
+    def subset(self, every_nth_row: int) -> "HeatmapScale":
+        return replace(self, rows=self.rows[::every_nth_row])
+
+
+#: Reduced configuration used by the default benchmark harness.
+QUICK_SCALE = HeatmapScale(
+    rows=ENTRY_SIZE_GRID[::3],
+    loss_rates=(1.0, 0.5, 0.1, 0.01),
+    repetitions=2,
+    duration_s=8.0,
+    max_pps_per_entry=300,
+    n_background=5,
+)
+
+#: Paper-faithful configuration (expensive; run via the CLI with --full).
+PAPER_SCALE = HeatmapScale(
+    rows=ENTRY_SIZE_GRID,
+    loss_rates=LOSS_RATES,
+    repetitions=10,
+    duration_s=30.0,
+    max_pps_per_entry=None,
+    n_background=10,
+)
+
+
+def _cell_task(args: tuple) -> tuple[tuple[int, int], CellResult]:
+    """Top-level cell runner (picklable for the process pool)."""
+    key, spec, repetitions = args
+    return key, run_cell(spec, repetitions=repetitions)
+
+
+def run_heatmap(mode: str, scale: HeatmapScale, seed: int = 0,
+                n_failed: Optional[int] = None,
+                workers: Optional[int] = None) -> dict:
+    """Sweep the grid; returns row/col labels plus TPR and latency maps.
+
+    ``workers`` > 1 runs cells in parallel processes — the intended way to
+    run the paper-faithful ``PAPER_SCALE`` sweeps, whose cells are
+    independent simulations.
+    """
+    failed = n_failed if n_failed is not None else scale.n_failed
+    tasks = []
+    for i, entry_size in enumerate(scale.rows):
+        for j, loss_rate in enumerate(scale.loss_rates):
+            spec = ExperimentSpec(
+                entry_size=entry_size,
+                loss_rate=loss_rate,
+                n_failed=failed,
+                n_background=scale.n_background,
+                mode=mode,
+                duration_s=scale.duration_s,
+                max_pps_per_entry=scale.max_pps_per_entry,
+                seed=seed + i * 101 + j,
+            )
+            tasks.append(((i, j), spec, scale.repetitions))
+
+    cells: dict[tuple[int, int], CellResult] = {}
+    if workers is not None and workers > 1:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            for key, cell in pool.map(_cell_task, tasks):
+                cells[key] = cell
+    else:
+        for task in tasks:
+            key, cell = _cell_task(task)
+            cells[key] = cell
+
+    tpr = {key: cell.avg_tpr for key, cell in cells.items()}
+    latency = {key: cell.avg_detection_time for key, cell in cells.items()}
+    return {
+        "row_labels": [e.label for e in scale.rows],
+        "col_labels": [f"{r:.3%}".rstrip("0").rstrip(".") for r in scale.loss_rates],
+        "tpr": tpr,
+        "latency": latency,
+        "cells": cells,
+        "mode": mode,
+        "n_failed": failed,
+    }
+
+
+def render_heatmap_pair(title: str, result: dict) -> str:
+    left = render_heatmap(
+        f"{title} — Avg TPR",
+        result["row_labels"],
+        result["col_labels"],
+        result["tpr"],
+    )
+    right = render_heatmap(
+        f"{title} — Avg detection time (s)",
+        result["row_labels"],
+        result["col_labels"],
+        result["latency"],
+    )
+    return left + "\n\n" + right

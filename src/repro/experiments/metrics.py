@@ -1,0 +1,97 @@
+"""Accuracy and speed metrics used throughout the evaluation (§5).
+
+The paper's primary metric is the true positive rate (TPR): the fraction
+of failed entries correctly identified.  False positives are tracked
+separately (they are structural — hash collisions — rather than traffic
+dependent).  Detection time is measured from failure injection to the
+first matching report, with undetected failures contributing the full
+experiment horizon (the paper reports 30 s for those cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["RunResult", "CellResult", "aggregate"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one experiment repetition."""
+
+    n_failed: int
+    n_detected: int
+    detection_times: list[float] = field(default_factory=list)
+    false_positives: int = 0
+    horizon_s: float = 30.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def tpr(self) -> float:
+        if self.n_failed == 0:
+            return 1.0
+        return self.n_detected / self.n_failed
+
+    @property
+    def mean_detection_time(self) -> float:
+        """Mean over failed entries; undetected ones count the horizon."""
+        if self.n_failed == 0:
+            return 0.0
+        padded = list(self.detection_times)
+        padded += [self.horizon_s] * (self.n_failed - len(padded))
+        return sum(padded) / self.n_failed
+
+
+@dataclass
+class CellResult:
+    """Aggregate over repetitions of one (entry size, loss rate) cell."""
+
+    runs: list[RunResult] = field(default_factory=list)
+
+    def add(self, run: RunResult) -> None:
+        self.runs.append(run)
+
+    @property
+    def avg_tpr(self) -> float:
+        if not self.runs:
+            return 0.0
+        return sum(r.tpr for r in self.runs) / len(self.runs)
+
+    @property
+    def avg_detection_time(self) -> float:
+        if not self.runs:
+            return 0.0
+        return sum(r.mean_detection_time for r in self.runs) / len(self.runs)
+
+    @property
+    def avg_false_positives(self) -> float:
+        if not self.runs:
+            return 0.0
+        return sum(r.false_positives for r in self.runs) / len(self.runs)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+
+def aggregate(runs: Sequence[RunResult]) -> CellResult:
+    cell = CellResult()
+    for run in runs:
+        cell.add(run)
+    return cell
+
+
+def median(values: Sequence[float]) -> Optional[float]:
+    """Median helper (Figure 11 reports median detection time)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+__all__.append("median")

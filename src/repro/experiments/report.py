@@ -1,0 +1,92 @@
+"""Plain-text rendering of heatmaps and tables.
+
+Every experiment module prints its results in the same row/series layout
+as the paper's tables and figures, so the reproduction can be compared to
+the original at a glance.  No plotting dependencies: output is terminal
+text, which is also what the benchmark harness captures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["render_heatmap", "render_table", "format_value", "render_series"]
+
+
+def format_value(value: Optional[float], decimals: int = 2) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.{decimals}g}"
+
+
+def render_heatmap(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Mapping[tuple[int, int], float],
+    col_header: str = "loss rate",
+    decimals: int = 2,
+) -> str:
+    """Render a (rows × cols) grid like the Figure 7/9 heatmaps."""
+    label_w = max((len(label) for label in row_labels), default=4) + 1
+    col_w = max(7, max((len(c) for c in col_labels), default=5) + 1)
+    lines = [title, f"{'':{label_w}}  {col_header} →"]
+    header = " " * label_w + "".join(f"{c:>{col_w}}" for c in col_labels)
+    lines.append(header)
+    for i, row in enumerate(row_labels):
+        cells = "".join(
+            f"{format_value(values.get((i, j)), decimals):>{col_w}}"
+            for j in range(len(col_labels))
+        )
+        lines.append(f"{row:<{label_w}}{cells}")
+    return "\n".join(lines)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> str:
+    """Render a simple aligned table (Table 2/3/4 style)."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in str_rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(f"{h:<{w}}" for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(f"{c:<{w}}" for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render line-series data (Figure 2/10 style) as aligned columns."""
+    lines = [title, f"{x_label:>12}  " + "  ".join(f"{name:>14}" for name in series)]
+    xs = sorted({x for points in series.values() for x, _ in points})
+    tables = {name: dict(points) for name, points in series.items()}
+    for x in xs:
+        row = f"{format_value(x, 4):>12}  "
+        row += "  ".join(
+            f"{format_value(tables[name].get(x), 4):>14}" for name in series
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return format_value(value, 3)
+    return str(value)

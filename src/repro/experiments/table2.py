@@ -1,0 +1,64 @@
+"""Experiment table2 — Loss Radar requirements (Table 2).
+
+Regenerates both metrics (memory-size ratio and read-speed ratio) for the
+two switch profiles of Table 2, across average loss rates, from the
+analytical :class:`~repro.baselines.lossradar.LossRadarModel`.
+
+The paper's headline reproduces: requirements grow linearly with loss
+rate and line rate, crossing what a hardware stage offers well below 1 %
+average loss — Loss Radar "fundamentally cannot detect gray failures
+efficiently within current and future ISPs" (§2.3).
+"""
+
+from __future__ import annotations
+
+from ..baselines.lossradar import TABLE2_SWITCHES, LossRadarModel
+from .report import render_table
+
+__all__ = ["run", "render", "LOSS_RATES_TABLE2"]
+
+#: Loss-rate columns of Table 2 (0.1 %, 0.2 %, 0.3 %, 1 %).
+LOSS_RATES_TABLE2 = (0.001, 0.002, 0.003, 0.01)
+
+
+def run(model: LossRadarModel | None = None) -> dict:
+    model = model or LossRadarModel()
+    result = model.table2(LOSS_RATES_TABLE2)
+    result["_params"] = {
+        "epoch_ms": model.epoch_s * 1e3,
+        "cell_bits": model.cell_bits,
+        "packet_size": model.packet_size,
+        "stage_memory_kb": model.stage_memory_bytes / 1e3,
+        "stage_read_MBps": model.stage_read_bps / 8e6,
+    }
+    return result
+
+
+def render(result: dict) -> str:
+    headers = ["Switch", "Metric"] + [f"{r:.1%}" for r in LOSS_RATES_TABLE2] + [
+        "max supported loss"
+    ]
+    rows = []
+    for switch in TABLE2_SWITCHES:
+        data = result[switch.name]
+        rows.append(
+            [switch.name, "memory size ×"]
+            + [f"× {data['memory_ratio'][r]:.2f}" for r in LOSS_RATES_TABLE2]
+            + [f"{data['max_supported_loss_rate']:.2%}"]
+        )
+        rows.append(
+            [switch.name, "read speedup ×"]
+            + [f"× {data['read_ratio'][r]:.2f}" for r in LOSS_RATES_TABLE2]
+            + [""]
+        )
+    return render_table(
+        "Table 2 — Loss Radar requirements vs. state-of-the-art switch capabilities",
+        headers,
+        rows,
+    )
+
+
+def main() -> str:
+    text = render(run())
+    print(text)
+    return text

@@ -1,0 +1,63 @@
+"""Experiment table4 — Tofino hardware resource usage (Table 4).
+
+Renders the resource-share model for the three FANcY configurations
+against the switch.p4 reference, plus the Appendix B.2 memory accounting
+that backs the SRAM column (192 KB of FSM state, 128 KB of dedicated
+counters, 47.6 KB of tree, ≈28 KB of rerouting structures — 367.6 KB
+total, 394 KB with rerouting).
+"""
+
+from __future__ import annotations
+
+from ..hardware.resources import (
+    RESOURCE_CLASSES,
+    SWITCH_P4,
+    TABLE4_CONFIGS,
+    dedicated_counter_memory_bits,
+    fsm_memory_bits,
+    hashtree_memory_bits,
+    rerouting_memory_bits,
+    resource_usage,
+    total_fancy_memory_bits,
+)
+from .report import render_table
+
+__all__ = ["run", "render", "main"]
+
+
+def run() -> dict:
+    usage = {name: resource_usage(name) for name in TABLE4_CONFIGS}
+    usage["switch.p4"] = SWITCH_P4
+    memory = {
+        "state machines (KB)": fsm_memory_bits() / 8 / 1024,
+        "dedicated counters (KB)": dedicated_counter_memory_bits() / 8 / 1024,
+        "hash-based tree (KB)": hashtree_memory_bits() / 8 / 1024,
+        "rerouting (KB)": rerouting_memory_bits() / 8 / 1024,
+        "total (KB)": total_fancy_memory_bits() / 8 / 1024,
+        "total with rerouting (KB)": total_fancy_memory_bits(with_rerouting=True) / 8 / 1024,
+    }
+    return {"usage": usage, "memory": memory}
+
+
+def render(result: dict) -> str:
+    configs = list(TABLE4_CONFIGS) + ["switch.p4"]
+    headers = ["Resource"] + configs
+    rows = []
+    for resource in RESOURCE_CLASSES:
+        row = [resource]
+        for config in configs:
+            value = result["usage"][config].as_dict()[resource]
+            row.append(f"{value:.2f}%")
+        rows.append(row)
+    table = render_table("Table 4 — hardware resource usage on a 32-port Tofino",
+                         headers, rows)
+    mem_rows = [[k, f"{v:.1f}"] for k, v in result["memory"].items()]
+    memory = render_table("Appendix B.2 — memory accounting",
+                          ["component", "KB"], mem_rows)
+    return table + "\n\n" + memory
+
+
+def main() -> str:
+    text = render(run())
+    print(text)
+    return text

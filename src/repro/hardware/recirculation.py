@@ -1,0 +1,84 @@
+"""Recirculation cost model (Appendix B.1).
+
+Tofino register arrays allow one access per packet per stage, and state
+transitions cannot read-modify-write complex state in one pass.  The
+prototype therefore pays pipeline passes:
+
+* every FSM **state transition** takes two passes — the first matches the
+  ``next_state`` table, locks the state, and resubmits/clones; the second
+  performs the update;
+* at the end of each tree counting session, the downstream reads all
+  ``width`` counters of a node by recirculating a packet ``width`` times,
+  and the upstream compares them the same way (computing the running
+  max-difference in a custom header of the recirculated packet).
+
+Recirculated packets consume pipeline bandwidth that would otherwise
+carry traffic, so this model answers: what fraction of a Tofino pipe's
+packet budget does FANcY's recirculation cost?  (Tiny, it turns out —
+another reason the design is deployable.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tofino import TOFINO_32PORT, TofinoProfile
+
+__all__ = ["RecirculationModel"]
+
+#: Appendix B.1: each state transition is implemented in two steps.
+PASSES_PER_TRANSITION = 2
+
+#: FSM transitions per counting session: Idle→WaitACK→Counting→
+#: WaitReport→(check)→Idle on the sender, plus the receiver's mirror.
+TRANSITIONS_PER_SESSION = 4
+
+
+@dataclass(frozen=True)
+class RecirculationModel:
+    """Pipeline-pass accounting for one FANcY switch.
+
+    Args:
+        profile: hardware envelope.
+        pipeline_pps: packet-processing budget of one pipe (Tofino 1 is
+            marketed at ≈2B pps per pipe at 100 G line rate across 16
+            ports; the default keeps that order of magnitude).
+    """
+
+    profile: TofinoProfile = TOFINO_32PORT
+    pipeline_pps: float = 2e9
+
+    def fsm_passes_per_second(self, n_fsms: int, session_s: float) -> float:
+        """Recirculated passes from FSM transitions (both FSM sides)."""
+        sessions_per_second = 1.0 / session_s
+        return (n_fsms * 2 * TRANSITIONS_PER_SESSION * PASSES_PER_TRANSITION
+                * sessions_per_second)
+
+    def tree_read_passes_per_second(self, width: int, session_s: float,
+                                    n_ports: int = 1) -> float:
+        """Recirculations to read + compare one node's counters per session
+        (downstream read w, upstream compare w)."""
+        sessions_per_second = 1.0 / session_s
+        return 2 * width * sessions_per_second * n_ports
+
+    def total_passes_per_second(
+        self,
+        n_dedicated_fsms: int = 512,
+        dedicated_session_s: float = 0.050,
+        tree_width: int = 190,
+        tree_session_s: float = 0.200,
+        n_ports: int = 32,
+    ) -> float:
+        """Full-switch recirculation load for the prototype configuration."""
+        fsm = self.fsm_passes_per_second(n_dedicated_fsms * n_ports,
+                                         dedicated_session_s)
+        tree = self.tree_read_passes_per_second(tree_width, tree_session_s,
+                                                n_ports)
+        # Tree FSMs: one pair per port.
+        fsm += self.fsm_passes_per_second(n_ports, tree_session_s)
+        return fsm + tree
+
+    def pipeline_fraction(self, **kwargs) -> float:
+        """Recirculation load as a fraction of the switch's packet budget."""
+        budget = self.pipeline_pps * self.profile.n_pipelines
+        return self.total_passes_per_second(**kwargs) / budget

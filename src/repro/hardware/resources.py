@@ -1,0 +1,200 @@
+"""Hardware resource accounting (Appendix B.2, Table 4).
+
+Two layers:
+
+* **Memory accounting** — exact reimplementation of the Appendix B.2
+  arithmetic: state machines (96 bits per FSM pair), dedicated counters
+  (64 bits per entry), the non-pipelined hash tree (2·32·w counter bits
+  plus 40 bits of zooming state per port), and the rerouting structures
+  (1-bit flag array plus a 2×100 K-cell Bloom filter).  These reproduce
+  the paper's 192 KB / 128 KB / 47.6 KB / ~28 KB / 367.6 KB numbers.
+
+* **Resource-share model** — Table 4 reports compiler-measured shares of
+  seven resource classes for three FANcY configurations and switch.p4.
+  The P4 compiler is not available here, so the model decomposes the
+  published table into per-component cost vectors (dedicated counters,
+  tree + zooming, rerouting) that compose back to the published columns;
+  SRAM additionally scales with the configured memory budget, the only
+  resource the paper says grows with budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .tofino import TOFINO_32PORT, TofinoProfile
+
+__all__ = [
+    "fsm_memory_bits",
+    "dedicated_counter_memory_bits",
+    "hashtree_memory_bits",
+    "rerouting_memory_bits",
+    "total_fancy_memory_bits",
+    "ResourceShares",
+    "RESOURCE_CLASSES",
+    "COMPONENT_COSTS",
+    "SWITCH_P4",
+    "resource_usage",
+    "TABLE4_CONFIGS",
+]
+
+#: Appendix B.2: per FSM pair, state counter (32) + current state (8) +
+#: state lock (8) bits, at both ingress and egress.
+FSM_BITS_PER_PAIR = (32 + 8 + 8) * 2
+
+
+def fsm_memory_bits(n_fsms_per_port: int = 512, n_ports: int = 32) -> int:
+    """State-machine register memory (B.2: 512/port × 32 ports = 192 KB)."""
+    return FSM_BITS_PER_PAIR * n_fsms_per_port * n_ports
+
+
+def dedicated_counter_memory_bits(n_entries_per_port: int = 512, n_ports: int = 32) -> int:
+    """Dedicated counters (B.2: one 32-bit pair per entry → 128 KB)."""
+    return 32 * 2 * n_entries_per_port * n_ports
+
+
+def hashtree_memory_bits(width: int = 190, n_ports: int = 32) -> int:
+    """Non-pipelined split-1 tree as implemented on the Tofino (B.2).
+
+    Memory cells are reused across levels, so only one node of counters
+    (two 32-bit registers × width) plus 40 bits of zooming state
+    (stage 8 + max0 16 + max1 16) exist per port: 47.6 KB for the
+    32-port switch at width 190.
+    """
+    per_port = 32 * 2 * width + (8 + 16 + 16)
+    return per_port * n_ports
+
+
+def rerouting_memory_bits(
+    n_entries_per_port: int = 512, n_ports: int = 32, bloom_cells: int = 100_000
+) -> int:
+    """Rerouting structures (B.2): a 1-bit flag per dedicated entry and
+    port, plus a Bloom filter of two 1-bit registers of ``bloom_cells``."""
+    flags = n_entries_per_port * n_ports
+    bloom = 2 * bloom_cells
+    return flags + bloom
+
+
+def total_fancy_memory_bits(
+    n_entries_per_port: int = 512,
+    width: int = 190,
+    n_ports: int = 32,
+    n_fsms_per_port: int = 512,
+    with_rerouting: bool = False,
+) -> int:
+    """B.2 bottom line: 367.6 KB without rerouting, ≈394 KB with."""
+    total = (
+        fsm_memory_bits(n_fsms_per_port, n_ports)
+        + dedicated_counter_memory_bits(n_entries_per_port, n_ports)
+        + hashtree_memory_bits(width, n_ports)
+    )
+    if with_rerouting:
+        total += rerouting_memory_bits(n_entries_per_port, n_ports)
+    return total
+
+
+# --------------------------------------------------------------------------
+# Table 4 resource-share model
+# --------------------------------------------------------------------------
+
+RESOURCE_CLASSES = (
+    "SRAM",
+    "Stateful ALU",
+    "VLIW Actions",
+    "TCAM",
+    "Hash bits",
+    "Ternary Xbar",
+    "Exact Xbar",
+)
+
+
+@dataclass(frozen=True)
+class ResourceShares:
+    """Percent usage of each Table 4 resource class on a 32-port Tofino."""
+
+    sram: float
+    stateful_alu: float
+    vliw_actions: float
+    tcam: float
+    hash_bits: float
+    ternary_xbar: float
+    exact_xbar: float
+
+    def __add__(self, other: "ResourceShares") -> "ResourceShares":
+        return ResourceShares(
+            self.sram + other.sram,
+            self.stateful_alu + other.stateful_alu,
+            self.vliw_actions + other.vliw_actions,
+            self.tcam + other.tcam,
+            self.hash_bits + other.hash_bits,
+            self.ternary_xbar + other.ternary_xbar,
+            self.exact_xbar + other.exact_xbar,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "SRAM": self.sram,
+            "Stateful ALU": self.stateful_alu,
+            "VLIW Actions": self.vliw_actions,
+            "TCAM": self.tcam,
+            "Hash bits": self.hash_bits,
+            "Ternary Xbar": self.ternary_xbar,
+            "Exact Xbar": self.exact_xbar,
+        }
+
+    def dominated_by(self, other: "ResourceShares", except_for: tuple = ()) -> bool:
+        """True if every resource (except the named ones) uses no more than
+        ``other`` — Table 4's claim versus switch.p4, modulo SALUs."""
+        mine, theirs = self.as_dict(), other.as_dict()
+        return all(
+            mine[k] <= theirs[k] for k in mine if k not in except_for
+        )
+
+
+#: Per-component cost vectors decomposed from Table 4 (percent of a
+#: 32-port Tofino).  "dedicated" is the Dedicated Counters column;
+#: "tree" and "rerouting" are the successive column differences.
+COMPONENT_COSTS: dict[str, ResourceShares] = {
+    "dedicated": ResourceShares(4.80, 16.66, 9.4, 1.4, 5.8, 1.8, 5.1),
+    "tree": ResourceShares(1.85, 10.42, 4.7, 0.7, 6.0, 1.30, 5.7),
+    "rerouting": ResourceShares(1.45, 6.25, 1.5, 0.0, 1.3, 0.00, 1.5),
+}
+
+#: Reference application column of Table 4.
+SWITCH_P4 = ResourceShares(29.58, 14.58, 36.72, 32.29, 34.74, 43.18, 29.36)
+
+#: Table 4 columns expressed as component compositions.
+TABLE4_CONFIGS: dict[str, tuple[str, ...]] = {
+    "Dedicated Counters": ("dedicated",),
+    "Full FANcY": ("dedicated", "tree"),
+    "FANcY + Rerouting": ("dedicated", "tree", "rerouting"),
+}
+
+
+def resource_usage(
+    config: str,
+    memory_budget_bytes: Optional[float] = None,
+    profile: TofinoProfile = TOFINO_32PORT,
+) -> ResourceShares:
+    """Resource shares for a Table 4 configuration.
+
+    SRAM is the only resource that grows when FANcY is given a larger
+    memory budget (§6): when ``memory_budget_bytes`` is provided, the SRAM
+    share is recomputed as budget / total switch SRAM, floored at the
+    published baseline.
+    """
+    if config not in TABLE4_CONFIGS:
+        raise KeyError(f"unknown configuration {config!r}; "
+                       f"choose from {sorted(TABLE4_CONFIGS)}")
+    total = ResourceShares(0, 0, 0, 0, 0, 0, 0)
+    for component in TABLE4_CONFIGS[config]:
+        total = total + COMPONENT_COSTS[component]
+    if memory_budget_bytes is not None:
+        scaled_sram = 100.0 * memory_budget_bytes / profile.total_sram_bytes
+        if scaled_sram > total.sram:
+            total = ResourceShares(
+                scaled_sram, total.stateful_alu, total.vliw_actions, total.tcam,
+                total.hash_bits, total.ternary_xbar, total.exact_xbar,
+            )
+    return total

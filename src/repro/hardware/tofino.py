@@ -1,0 +1,55 @@
+"""Intel Tofino hardware model (Appendix B).
+
+Captures the constraints the paper designs against: per-pipeline stages
+with limited SRAM each, one register access per packet per stage (which
+forces the w-fold recirculation when reading tree counters), and the
+two-step state-transition implementation of the FSMs.
+
+The numbers are the public Tofino-1 (Wedge 100BF-32X) envelope the paper
+cites: ~12-15 MB SRAM per pipeline, split across stages, shared by all
+in-switch applications (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TofinoProfile", "TOFINO_32PORT", "recirculations_for_tree_read"]
+
+
+@dataclass(frozen=True)
+class TofinoProfile:
+    """Resource envelope of one Tofino switch."""
+
+    name: str
+    n_ports: int
+    n_pipelines: int
+    stages_per_pipeline: int
+    sram_per_pipeline_bytes: float
+
+    @property
+    def sram_per_stage_bytes(self) -> float:
+        return self.sram_per_pipeline_bytes / self.stages_per_pipeline
+
+    @property
+    def total_sram_bytes(self) -> float:
+        return self.sram_per_pipeline_bytes * self.n_pipelines
+
+
+#: The Wedge 100BF-32X used in §6 (Tofino 1, 32 × 100 Gbps).
+TOFINO_32PORT = TofinoProfile(
+    name="Wedge 100BF-32X",
+    n_ports=32,
+    n_pipelines=2,
+    stages_per_pipeline=12,
+    sram_per_pipeline_bytes=13.5e6,
+)
+
+
+def recirculations_for_tree_read(width: int) -> int:
+    """Appendix B.1: register arrays can be accessed once per packet, so
+    reading/comparing all ``width`` counters of a node takes ``width``
+    recirculated packets."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return width

@@ -1,0 +1,200 @@
+"""Declarative scenario builder — the high-level experiment API.
+
+Everything the experiments in this repository do by hand (build a
+topology, configure FANcY, attach traffic, inject failures, run, score)
+can be declared in one place::
+
+    from repro.scenario import Scenario
+
+    result = (
+        Scenario(duration_s=10)
+        .entry("10.0.0.0/24", rate_bps=2e6, flows_per_second=20, dedicated=True)
+        .entry("10.1.0.0/24", rate_bps=500e3, flows_per_second=5)
+        .fail("10.1.0.0/24", loss_rate=0.3, at=2.0)
+        .run()
+    )
+    assert result.flagged("10.1.0.0/24")
+    print(result.detection_time("10.1.0.0/24"))
+
+The builder covers the canonical two-switch setup; anything fancier
+(chains, stars, custom hooks) drops down to the underlying modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .core.detector import FancyConfig, FancyLinkMonitor
+from .core.hashtree import HashTreeParams
+from .core.output import FailureKind, FailureReport
+from .simulator.apps import FlowGenerator
+from .simulator.engine import Simulator
+from .simulator.failures import CompositeFailure, EntryLossFailure, UniformLossFailure
+from .simulator.topology import TwoSwitchTopology
+from .simulator.udp import UdpSource
+
+__all__ = ["Scenario", "ScenarioResult"]
+
+DEFAULT_TREE = HashTreeParams(width=32, depth=3, split=2, pipelined=True)
+
+
+@dataclass
+class _EntrySpec:
+    entry: Any
+    rate_bps: float
+    flows_per_second: float
+    dedicated: bool
+    packet_size: int
+    udp: bool
+
+
+@dataclass
+class _FailureSpec:
+    entries: Optional[tuple]
+    loss_rate: float
+    at: float
+    until: Optional[float]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of a scenario run, with the queries experiments need."""
+
+    monitor: FancyLinkMonitor
+    sim: Simulator
+    failure_times: dict = field(default_factory=dict)
+
+    def flagged(self, entry: Any) -> bool:
+        return self.monitor.entry_is_flagged(entry)
+
+    def reports(self, kind: Optional[FailureKind] = None) -> list[FailureReport]:
+        if kind is None:
+            return list(self.monitor.log.reports)
+        return self.monitor.log.by_kind(kind)
+
+    def detection_time(self, entry: Any) -> Optional[float]:
+        """Seconds from the entry's failure onset to its first report."""
+        onset = self.failure_times.get(entry)
+        if onset is None:
+            return None
+        report = self.monitor.log.first_report(kind=FailureKind.DEDICATED_ENTRY,
+                                               entry=entry)
+        if report is None and self.monitor.tree_strategy is not None:
+            hp = self.monitor.tree_strategy.tree.hash_path(entry)
+            report = self.monitor.log.first_report(kind=FailureKind.TREE_LEAF,
+                                                   hash_path=hp)
+        if report is None or report.time < onset:
+            return None
+        return report.time - onset
+
+    def uniform_detected(self) -> bool:
+        return bool(self.monitor.log.by_kind(FailureKind.UNIFORM))
+
+
+class Scenario:
+    """Fluent builder for two-switch FANcY experiments."""
+
+    def __init__(
+        self,
+        duration_s: float = 10.0,
+        link_delay_s: float = 0.010,
+        tree_params: Optional[HashTreeParams] = DEFAULT_TREE,
+        dedicated_session_s: float = 0.050,
+        tree_session_s: float = 0.200,
+        seed: int = 0,
+    ):
+        self.duration_s = duration_s
+        self.link_delay_s = link_delay_s
+        self.tree_params = tree_params
+        self.dedicated_session_s = dedicated_session_s
+        self.tree_session_s = tree_session_s
+        self.seed = seed
+        self._entries: list[_EntrySpec] = []
+        self._failures: list[_FailureSpec] = []
+        self._uniform: Optional[_FailureSpec] = None
+
+    # -- declaration -----------------------------------------------------------
+
+    def entry(self, entry: Any, rate_bps: float = 1e6,
+              flows_per_second: float = 10, dedicated: bool = False,
+              packet_size: int = 1500, udp: bool = False) -> "Scenario":
+        """Declare a monitored entry and its traffic."""
+        if any(e.entry == entry for e in self._entries):
+            raise ValueError(f"entry {entry!r} declared twice")
+        self._entries.append(_EntrySpec(entry, rate_bps, flows_per_second,
+                                        dedicated, packet_size, udp))
+        return self
+
+    def fail(self, *entries: Any, loss_rate: float = 1.0, at: float = 1.0,
+             until: Optional[float] = None) -> "Scenario":
+        """Inject a gray failure on the given entries."""
+        if not entries:
+            raise ValueError("fail() needs at least one entry")
+        self._failures.append(_FailureSpec(tuple(entries), loss_rate, at, until))
+        return self
+
+    def fail_uniformly(self, loss_rate: float, at: float = 1.0,
+                       until: Optional[float] = None) -> "Scenario":
+        """Inject link-level random loss on all entries."""
+        self._uniform = _FailureSpec(None, loss_rate, at, until)
+        return self
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        if not self._entries:
+            raise ValueError("scenario has no entries")
+        declared = {e.entry for e in self._entries}
+        for spec in self._failures:
+            unknown = set(spec.entries) - declared
+            if unknown:
+                raise ValueError(f"failing undeclared entries: {sorted(unknown)}")
+
+        sim = Simulator()
+        failures = []
+        failure_times: dict[Any, float] = {}
+        for i, spec in enumerate(self._failures):
+            failures.append(EntryLossFailure(
+                spec.entries, spec.loss_rate, start_time=spec.at,
+                end_time=spec.until, seed=self.seed + i,
+            ))
+            for entry in spec.entries:
+                failure_times.setdefault(entry, spec.at)
+        if self._uniform is not None:
+            failures.append(UniformLossFailure(
+                self._uniform.loss_rate, start_time=self._uniform.at,
+                end_time=self._uniform.until, seed=self.seed + 991,
+            ))
+        loss_model = CompositeFailure(failures) if failures else None
+
+        topo = TwoSwitchTopology(sim, link_delay_s=self.link_delay_s,
+                                 loss_model=loss_model)
+        config = FancyConfig(
+            high_priority=[e.entry for e in self._entries if e.dedicated],
+            tree_params=self.tree_params,
+            dedicated_session_s=self.dedicated_session_s,
+            tree_session_s=self.tree_session_s,
+            seed=self.seed,
+        )
+        monitor = FancyLinkMonitor(sim, topo.upstream, 1, topo.downstream, 1,
+                                   config)
+        for i, e in enumerate(self._entries):
+            if e.udp:
+                UdpSource(sim, topo.source.send, e.entry,
+                          flow_id=(i + 1) * 1_000_000,
+                          rate_bps=e.rate_bps,
+                          packet_size=e.packet_size).start()
+            else:
+                FlowGenerator(
+                    sim, topo.source, e.entry,
+                    rate_bps=e.rate_bps,
+                    flows_per_second=e.flows_per_second,
+                    packet_size=e.packet_size,
+                    seed=self.seed + 31 * i,
+                    flow_id_base=(i + 1) * 1_000_000,
+                ).start()
+        monitor.start()
+        sim.run(until=self.duration_s)
+        return ScenarioResult(monitor=monitor, sim=sim,
+                              failure_times=failure_times)

@@ -1,0 +1,193 @@
+"""Discrete-event simulation engine.
+
+This module is the foundation of the packet-level simulator that stands in
+for ns-3 in this reproduction.  It provides a binary-heap event queue with
+a monotonically increasing simulated clock, cancellable timers, and a few
+convenience helpers (periodic events, run-until predicates).
+
+Events scheduled for the same timestamp fire in FIFO order, which the
+protocol state machines rely on for determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable to cancel it before it fires."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+        # Drop references so cancelled events do not pin objects in memory
+        # while they remain in the heap.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.9f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """A discrete-event simulator with a cancellable timer wheel.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+
+    The clock unit is seconds (floats).  The engine guarantees that events
+    fire in non-decreasing time order and, for equal timestamps, in the
+    order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: Optional[float] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` every ``interval`` seconds until cancelled.
+
+        Returns the handle of the *next* pending occurrence; cancelling it
+        stops the whole periodic chain because each firing checks the shared
+        cell before rescheduling.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        cell: list[EventHandle] = []
+
+        def fire() -> None:
+            callback(*args)
+            if not cell[0].cancelled:
+                cell[0] = self.schedule(interval, fire)
+                handle_proxy.time = cell[0].time
+
+        first = self.schedule(start_delay if start_delay is not None else interval, fire)
+        cell.append(first)
+
+        # Proxy whose .cancel() stops the chain regardless of which link is live.
+        class _PeriodicHandle(EventHandle):
+            __slots__ = ()
+
+            def cancel(self) -> None:  # noqa: D102 - same contract as base
+                cell[0].cancel()
+                self.cancelled = True
+
+        handle_proxy = _PeriodicHandle(first.time, first.seq, _noop, ())
+        return handle_proxy
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process the single next event.  Returns False when queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.callback(*handle.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return even if the queue drained earlier, so that measurements
+        taken "at the end of the experiment" see a consistent timestamp.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop a ``run()`` in progress after the current event completes."""
+        self._stopped = True
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._stopped = False
+        self.events_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={len(self._queue)})"

@@ -1,0 +1,196 @@
+"""Gray-failure models.
+
+The paper classifies gray failures along two axes (Table 1): which
+forwarding entries are affected (one / some / all IP prefixes) and which
+packets per affected entry are dropped (some / all).  Each class here is a
+link ``loss_model`` callable implementing one cell of that classification:
+
+* :class:`EntryLossFailure` — some/all packets of a chosen set of entries
+  (e.g. "specific IP prefixes", "VPN label corruption").
+* :class:`UniformLossFailure` — random drops across all entries ("CRC
+  errors", dirty fiber, link-level problems).
+* :class:`PacketPropertyFailure` — drops keyed on packet properties
+  ("packets with specific sizes", "IP ID field 0xE000").
+* :class:`ControlPlaneFailure` — drops FANcY's own control messages, used
+  to exercise the protocol's stop-and-wait resilience.
+
+All models share a start/end activation window and a deterministic RNG, so
+experiments are reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Optional
+
+from .packet import Packet, PacketKind
+
+__all__ = [
+    "GrayFailure",
+    "EntryLossFailure",
+    "UniformLossFailure",
+    "PacketPropertyFailure",
+    "ControlPlaneFailure",
+    "IntermittentFailure",
+    "CompositeFailure",
+]
+
+
+class GrayFailure:
+    """Base class: an activation window plus a drop decision.
+
+    Subclasses override :meth:`matches` to select packets; the base class
+    handles activation timing and the Bernoulli drop draw.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float,
+        start_time: float = 0.0,
+        end_time: Optional[float] = None,
+        seed: int = 0,
+        affect_control: bool = False,
+    ):
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = loss_rate
+        self.start_time = start_time
+        self.end_time = end_time
+        self.affect_control = affect_control
+        self.rng = random.Random(seed)
+        self.drops = 0
+
+    def active(self, now: float) -> bool:
+        if now < self.start_time:
+            return False
+        return self.end_time is None or now < self.end_time
+
+    def matches(self, packet: Packet) -> bool:
+        """Whether this failure can affect ``packet`` (ignoring loss rate)."""
+        raise NotImplementedError
+
+    def __call__(self, packet: Packet, now: float) -> bool:
+        """Link loss-model protocol: return True to drop the packet."""
+        if not self.active(now):
+            return False
+        if packet.kind.is_control and not self.affect_control:
+            return False
+        if not self.matches(packet):
+            return False
+        if self.loss_rate >= 1.0 or self.rng.random() < self.loss_rate:
+            self.drops += 1
+            return True
+        return False
+
+
+class EntryLossFailure(GrayFailure):
+    """Drops packets belonging to a specific set of entries (prefixes)."""
+
+    def __init__(self, entries: Iterable[Any], loss_rate: float, **kwargs: Any):
+        super().__init__(loss_rate, **kwargs)
+        self.entries = frozenset(entries)
+        if not self.entries:
+            raise ValueError("EntryLossFailure needs at least one entry")
+
+    def matches(self, packet: Packet) -> bool:
+        return packet.entry in self.entries
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EntryLossFailure({len(self.entries)} entries, {self.loss_rate:.2%})"
+
+
+class UniformLossFailure(GrayFailure):
+    """Drops packets uniformly at random, regardless of entry."""
+
+    def matches(self, packet: Packet) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UniformLossFailure({self.loss_rate:.2%})"
+
+
+class PacketPropertyFailure(GrayFailure):
+    """Drops packets matching an arbitrary header/property predicate.
+
+    Examples from Table 1: packets with specific sizes, packets whose IP ID
+    equals 0xE000.  ``predicate`` receives the packet.
+    """
+
+    def __init__(self, predicate: Callable[[Packet], bool], loss_rate: float, **kwargs: Any):
+        super().__init__(loss_rate, **kwargs)
+        self.predicate = predicate
+
+    def matches(self, packet: Packet) -> bool:
+        return self.predicate(packet)
+
+
+class ControlPlaneFailure(GrayFailure):
+    """Drops FANcY control messages of selected kinds.
+
+    Used in tests to verify that the counting protocol's retransmission
+    logic (§4.1, X=5 attempts) survives lossy control channels and that a
+    fully dead reverse channel is reported as a link failure.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float,
+        kinds: Optional[Iterable[PacketKind]] = None,
+        **kwargs: Any,
+    ):
+        kwargs.setdefault("affect_control", True)
+        super().__init__(loss_rate, **kwargs)
+        self.kinds = frozenset(kinds) if kinds is not None else None
+
+    def matches(self, packet: Packet) -> bool:
+        if not packet.kind.is_control:
+            return False
+        return self.kinds is None or packet.kind in self.kinds
+
+
+class IntermittentFailure:
+    """Wraps a failure with an on/off duty cycle.
+
+    §2.1: "many gray failures are never diagnosed, e.g., because they
+    appear intermittently."  The wrapped failure is only active during
+    periodic on-windows; off-windows are loss-free.
+    """
+
+    def __init__(self, inner: GrayFailure, period_s: float, on_fraction: float,
+                 phase_s: float = 0.0):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < on_fraction <= 1:
+            raise ValueError("on fraction must be in (0, 1]")
+        self.inner = inner
+        self.period_s = period_s
+        self.on_fraction = on_fraction
+        self.phase_s = phase_s
+
+    def in_on_window(self, now: float) -> bool:
+        offset = (now - self.phase_s) % self.period_s
+        return offset < self.period_s * self.on_fraction
+
+    def __call__(self, packet: Packet, now: float) -> bool:
+        if not self.in_on_window(now):
+            return False
+        return self.inner(packet, now)
+
+    @property
+    def drops(self) -> int:
+        return self.inner.drops
+
+
+class CompositeFailure:
+    """Combines several failures on one link; a packet is dropped if any
+    component drops it."""
+
+    def __init__(self, failures: Iterable[GrayFailure]):
+        self.failures = list(failures)
+
+    def __call__(self, packet: Packet, now: float) -> bool:
+        return any(f(packet, now) for f in self.failures)
+
+    @property
+    def drops(self) -> int:
+        return sum(f.drops for f in self.failures)

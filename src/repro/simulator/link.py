@@ -1,0 +1,169 @@
+"""Point-to-point links with bandwidth, delay and gray-failure injection.
+
+A :class:`Link` is unidirectional: it serializes packets at a configured
+bandwidth, applies the propagation delay, and delivers to the receiving
+node.  Gray failures are injected *on the wire*, i.e. after the sender has
+finished transmitting (hence after any upstream egress counting) and before
+the receiver sees the packet (hence before downstream ingress counting) —
+matching the counter placement rationale of §3.
+
+Congestion losses are intentionally *not* modelled here: tail-drop happens
+in the switch traffic manager (see :mod:`repro.simulator.switch`), upstream
+of the FANcY egress counters, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional, Protocol
+
+from .engine import Simulator
+from .packet import Packet, PacketKind
+
+__all__ = ["Receiver", "Link", "LinkStats", "connect_duplex"]
+
+
+class Receiver(Protocol):
+    """Anything that can accept packets from a link."""
+
+    def receive(self, packet: Packet, in_port: int) -> None: ...
+
+
+class LinkStats:
+    """Per-link counters for delivered and dropped traffic."""
+
+    __slots__ = ("tx_packets", "tx_bytes", "delivered", "dropped_failure")
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.delivered = 0
+        self.dropped_failure = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "tx_packets": self.tx_packets,
+            "tx_bytes": self.tx_bytes,
+            "delivered": self.delivered,
+            "dropped_failure": self.dropped_failure,
+        }
+
+
+class Link:
+    """A unidirectional link.
+
+    Args:
+        sim: the event engine.
+        dst: receiving node.
+        dst_port: port index presented to the receiver.
+        bandwidth_bps: link rate in bits/second; ``None`` disables the
+            serialization model (packets depart instantly), useful for the
+            analytical experiments where queueing is irrelevant.
+        delay_s: one-way propagation delay in seconds.
+        loss_model: optional callable ``(packet, now) -> bool``; returning
+            True drops the packet on the wire (a gray failure).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst: Receiver,
+        dst_port: int,
+        bandwidth_bps: Optional[float] = 10e9,
+        delay_s: float = 0.010,
+        loss_model: Optional[Callable[[Packet, float], bool]] = None,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.dst = dst
+        self.dst_port = dst_port
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.loss_model = loss_model
+        self.name = name or f"link->{dst_port}"
+        self.stats = LinkStats()
+        self._tx_queue: deque[Packet] = deque()
+        self._ctrl_queue: deque[Packet] = deque()
+        self._transmitting = False
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission.
+
+        Control *responses* (StartACK, Report) ride a strict-priority
+        class, modelling the control-traffic QoS class switches give
+        protocol packets, so FANcY's reverse channel does not starve
+        behind congested data queues.  Start and Stop stay in the FIFO
+        data class on purpose: the counting protocol's correctness relies
+        on Stop never overtaking the tagged data packets it delimits
+        (§4.1's per-session consistency).
+        """
+        if self.bandwidth_bps is None:
+            self._depart(packet)
+            return
+        if packet.kind in (PacketKind.FANCY_START_ACK, PacketKind.FANCY_REPORT):
+            self._ctrl_queue.append(packet)
+        else:
+            self._tx_queue.append(packet)
+        if not self._transmitting:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if self._ctrl_queue:
+            packet = self._ctrl_queue.popleft()
+        elif self._tx_queue:
+            packet = self._tx_queue.popleft()
+        else:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        tx_time = packet.size * 8 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._finish_tx, packet)
+
+    def _finish_tx(self, packet: Packet) -> None:
+        self._depart(packet)
+        self._start_next()
+
+    def _depart(self, packet: Packet) -> None:
+        """Packet left the sender; apply the wire loss model then propagate."""
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size
+        if self.loss_model is not None and self.loss_model(packet, self.sim.now):
+            self.stats.dropped_failure += 1
+            return
+        self.sim.schedule(self.delay_s, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        self.dst.receive(packet, self.dst_port)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._tx_queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, delay={self.delay_s * 1e3:.3f}ms)"
+
+
+def connect_duplex(
+    sim: Simulator,
+    node_a: Any,
+    port_a: int,
+    node_b: Any,
+    port_b: int,
+    bandwidth_bps: Optional[float] = 10e9,
+    delay_s: float = 0.010,
+    loss_model_ab: Optional[Callable[[Packet, float], bool]] = None,
+    loss_model_ba: Optional[Callable[[Packet, float], bool]] = None,
+) -> tuple[Link, Link]:
+    """Create a bidirectional connection as a pair of unidirectional links.
+
+    Nodes must expose ``attach_link(port, link)`` and ``receive(packet,
+    in_port)``; every node in :mod:`repro.simulator` does.
+    """
+    ab = Link(sim, node_b, port_b, bandwidth_bps, delay_s, loss_model_ab,
+              name=f"{getattr(node_a, 'name', 'a')}->{getattr(node_b, 'name', 'b')}")
+    ba = Link(sim, node_a, port_a, bandwidth_bps, delay_s, loss_model_ba,
+              name=f"{getattr(node_b, 'name', 'b')}->{getattr(node_a, 'name', 'a')}")
+    node_a.attach_link(port_a, ab)
+    node_b.attach_link(port_b, ba)
+    return ab, ba

@@ -1,0 +1,177 @@
+"""P4-like switch model.
+
+The switch mimics the data-plane structure the paper's ns-3 model
+reproduces: parser → ingress pipeline → traffic manager (TM) → egress
+pipeline → port.  The placement constraints from §3 are honoured:
+
+* congestion (tail-drop) happens **in the TM**;
+* upstream FANcY counting happens in the **egress pipeline**, i.e. after
+  the TM, so congestion drops are never mistaken for gray failures;
+* downstream FANcY counting happens in the **ingress pipeline**, i.e.
+  before the TM of the receiving switch.
+
+Hooks are plain callables so the FANcY detector (or any other in-switch
+application, e.g. the rerouting app of §6.1) can be attached per port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import Simulator
+from .link import Link
+from .packet import Packet
+
+__all__ = ["Node", "Switch", "SwitchStats"]
+
+#: Ingress hook signature: (packet, in_port) -> bool.  Returning False
+#: consumes the packet (it does not continue to the TM).
+IngressHook = Callable[[Packet, int], bool]
+
+#: Egress hook signature: (packet, out_port) -> bool.  Returning False
+#: drops the packet instead of transmitting it.
+EgressHook = Callable[[Packet, int], bool]
+
+
+class Node:
+    """Base class for anything attached to links (switches and hosts)."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.links: dict[int, Link] = {}
+
+    def attach_link(self, port: int, link: Link) -> None:
+        self.links[port] = link
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        raise NotImplementedError
+
+    def transmit(self, packet: Packet, out_port: int) -> None:
+        """Hand a packet to the link on ``out_port``."""
+        link = self.links.get(out_port)
+        if link is None:
+            raise KeyError(f"{self.name}: no link on port {out_port}")
+        link.send(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name})"
+
+
+class SwitchStats:
+    """Aggregate counters a switch keeps about its own forwarding."""
+
+    __slots__ = ("received", "forwarded", "dropped_no_route", "dropped_tm", "consumed")
+
+    def __init__(self) -> None:
+        self.received = 0
+        self.forwarded = 0
+        self.dropped_no_route = 0
+        self.dropped_tm = 0
+        self.consumed = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "received": self.received,
+            "forwarded": self.forwarded,
+            "dropped_no_route": self.dropped_no_route,
+            "dropped_tm": self.dropped_tm,
+            "consumed": self.consumed,
+        }
+
+
+class Switch(Node):
+    """A destination-(entry-)routed switch with FANcY attachment points.
+
+    Args:
+        sim: event engine.
+        name: switch name for logs and link labels.
+        tm_queue_packets: TM admission limit per output port, expressed as
+            the maximum number of packets queued on the outgoing link.
+            ``None`` disables tail-drop (infinite buffers).
+    """
+
+    def __init__(self, sim: Simulator, name: str, tm_queue_packets: Optional[int] = 1000):
+        super().__init__(sim, name)
+        self.tm_queue_packets = tm_queue_packets
+        self.routes: dict[Any, int] = {}
+        self.default_port: Optional[int] = None
+        self.stats = SwitchStats()
+        self._ingress_hooks: dict[int, list[IngressHook]] = {}
+        self._egress_hooks: dict[int, list[EgressHook]] = {}
+        #: Optional forwarding override, e.g. the fast-rerouting app;
+        #: returns an output port or None to fall through to the routes.
+        self.forwarding_override: Optional[Callable[[Packet], Optional[int]]] = None
+
+    # -- configuration -----------------------------------------------------
+
+    def add_route(self, entry: Any, out_port: int) -> None:
+        self.routes[entry] = out_port
+
+    def add_routes(self, entries: Any, out_port: int) -> None:
+        for entry in entries:
+            self.routes[entry] = out_port
+
+    def set_default_route(self, out_port: int) -> None:
+        self.default_port = out_port
+
+    def add_ingress_hook(self, in_port: int, hook: IngressHook, front: bool = False) -> None:
+        """Register an ingress hook; ``front`` puts it before existing ones
+        (FANcY uses this so its control messages are consumed before any
+        topology-level routing hooks see them)."""
+        hooks = self._ingress_hooks.setdefault(in_port, [])
+        if front:
+            hooks.insert(0, hook)
+        else:
+            hooks.append(hook)
+
+    def add_egress_hook(self, out_port: int, hook: EgressHook) -> None:
+        self._egress_hooks.setdefault(out_port, []).append(hook)
+
+    # -- data plane ---------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Parser + ingress pipeline."""
+        self.stats.received += 1
+        for hook in self._ingress_hooks.get(in_port, ()):
+            if not hook(packet, in_port):
+                self.stats.consumed += 1
+                return
+        self._traffic_manager(packet)
+
+    def _traffic_manager(self, packet: Packet) -> None:
+        """TM: route lookup + tail-drop admission, then egress pipeline."""
+        out_port = None
+        if self.forwarding_override is not None:
+            out_port = self.forwarding_override(packet)
+        if out_port is None:
+            out_port = self.routes.get(packet.entry, self.default_port)
+        if out_port is None:
+            self.stats.dropped_no_route += 1
+            return
+        link = self.links.get(out_port)
+        if link is None:
+            self.stats.dropped_no_route += 1
+            return
+        if self.tm_queue_packets is not None and link.queue_len >= self.tm_queue_packets:
+            self.stats.dropped_tm += 1
+            return
+        self._egress(packet, out_port)
+
+    def _egress(self, packet: Packet, out_port: int) -> None:
+        """Egress pipeline (after the TM): FANcY sender hooks live here."""
+        for hook in self._egress_hooks.get(out_port, ()):
+            if not hook(packet, out_port):
+                return
+        self.stats.forwarded += 1
+        self.transmit(packet, out_port)
+
+    def inject(self, packet: Packet, out_port: int) -> None:
+        """Send a locally generated packet (e.g. a FANcY control message).
+
+        Control messages go straight to the egress pipeline of the target
+        port; they are subject to egress hooks (so the local FANcY sender
+        sees its own Start/Stop messages leaving, which it ignores) and to
+        on-wire failures, but not to TM admission.
+        """
+        self._egress(packet, out_port)

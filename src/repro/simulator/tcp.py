@@ -1,0 +1,261 @@
+"""Simplified Reno-style TCP for closed-loop experiments.
+
+The evaluation's key transport effects (§5.2) are: (i) under a blackhole,
+traffic for an entry collapses to RTO-driven retransmissions at
+exponentially increasing intervals, so FANcY may not see packets in three
+consecutive counting sessions; (ii) under partial loss, flows keep sending
+(fast retransmit / window reduction), so FANcY keeps observing traffic.
+
+This module implements exactly enough TCP to get those dynamics right:
+slow start, AIMD congestion avoidance, triple-duplicate-ACK fast
+retransmit, and a 200 ms retransmission timeout with exponential backoff
+(the paper's stated flow parameters).  Sequence numbers are in packets,
+not bytes — the counting logic only sees packet counts anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import EventHandle, Simulator
+from .packet import Packet, PacketKind
+
+__all__ = ["TcpFlow", "TcpSink", "DEFAULT_RTO"]
+
+#: Retransmission timeout used throughout the paper's experiments.
+DEFAULT_RTO = 0.200
+
+#: Cap on the exponential backoff of the RTO.
+MAX_RTO = 8 * DEFAULT_RTO
+
+#: ACK frame size on the wire.
+ACK_SIZE = 64
+
+
+class TcpFlow:
+    """Sender-side TCP state for one flow.
+
+    Args:
+        sim: event engine.
+        send_fn: callable delivering a packet into the network (typically
+            ``host.transmit`` bound to the access port).
+        entry: monitoring entry (destination prefix) of the flow.
+        flow_id: unique flow identifier.
+        total_packets: flow length; the flow completes once all are ACKed.
+        packet_size: data packet size in bytes.
+        rate_bps: application pacing rate; the sender never exceeds it even
+            if the congestion window would allow.
+        rto: base retransmission timeout.
+        on_complete: optional callback fired when the flow finishes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: Callable[[Packet], None],
+        entry: Any,
+        flow_id: int,
+        total_packets: int,
+        packet_size: int = 1500,
+        rate_bps: float = 1e6,
+        rto: float = DEFAULT_RTO,
+        on_complete: Optional[Callable[["TcpFlow"], None]] = None,
+    ):
+        if total_packets <= 0:
+            raise ValueError("flow must carry at least one packet")
+        self.sim = sim
+        self.send_fn = send_fn
+        self.entry = entry
+        self.flow_id = flow_id
+        self.total_packets = total_packets
+        self.packet_size = packet_size
+        self.rate_bps = rate_bps
+        self.base_rto = rto
+        self.on_complete = on_complete
+
+        self.cwnd = 2.0
+        self.ssthresh = 64.0
+        self.next_seq = 0          # next new packet to send
+        self.high_acked = 0        # cumulative ACK (next expected by peer)
+        self.dup_acks = 0
+        self.rto = rto
+        self.completed = False
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self._pacing_interval = packet_size * 8 / rate_bps if rate_bps else 0.0
+        self._rto_timer: Optional[EventHandle] = None
+        self._pacing_timer: Optional[EventHandle] = None
+        self._in_recovery = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.started_at = self.sim.now
+        self._try_send()
+
+    def stop(self) -> None:
+        """Abort the flow (used at experiment teardown)."""
+        self.completed = True
+        self._cancel_timer(self._rto_timer)
+        self._cancel_timer(self._pacing_timer)
+        self._rto_timer = None
+        self._pacing_timer = None
+
+    @staticmethod
+    def _cancel_timer(timer: Optional[EventHandle]) -> None:
+        if timer is not None:
+            timer.cancel()
+
+    # -- sending ------------------------------------------------------------
+
+    def _window_allows(self) -> bool:
+        # Duplicate ACKs inflate the window (limited transmit / NewReno
+        # inflation) so the flow keeps the ACK clock alive during loss.
+        in_flight = self.next_seq - self.high_acked
+        return in_flight < self.cwnd + self.dup_acks
+
+    def _try_send(self) -> None:
+        self._pacing_timer = None
+        if self.completed:
+            return
+        if self.next_seq < self.total_packets and self._window_allows():
+            self._emit(self.next_seq)
+            self.next_seq += 1
+            if self.next_seq < self.total_packets:
+                self._pacing_timer = self.sim.schedule(self._pacing_interval, self._try_send)
+
+    def _emit(self, seq: int, retransmission: bool = False) -> None:
+        packet = Packet(
+            PacketKind.DATA,
+            self.entry,
+            self.packet_size,
+            flow_id=self.flow_id,
+            seq=seq,
+            created_at=self.sim.now,
+        )
+        self.packets_sent += 1
+        if retransmission:
+            self.retransmissions += 1
+        self.send_fn(packet)
+        if self._rto_timer is None:
+            self._arm_rto()
+
+    def _arm_rto(self) -> None:
+        self._rto_timer = self.sim.schedule(self.rto, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.completed or self.high_acked >= self.total_packets:
+            return
+        # Timeout: multiplicative backoff, collapse window, go-back-N from
+        # the cumulative ACK point (retransmit just the first missing one;
+        # the rest follow as ACKs advance).
+        self.ssthresh = max(self.cwnd / 2, 2.0)
+        self.cwnd = 1.0
+        self.rto = min(self.rto * 2, MAX_RTO)
+        self.dup_acks = 0
+        self._in_recovery = False
+        self.next_seq = max(self.high_acked + 1, self.next_seq)
+        # _emit arms the (backed-off) RTO timer since none is pending.
+        self._emit(self.high_acked, retransmission=True)
+
+    # -- receiving ----------------------------------------------------------
+
+    def on_ack(self, packet: Packet) -> None:
+        """Process a cumulative ACK (``packet.ack`` = next expected seq)."""
+        if self.completed:
+            return
+        ack = packet.ack
+        if ack > self.high_acked:
+            self.high_acked = ack
+            self.dup_acks = 0
+            self.rto = self.base_rto
+            self._cancel_timer(self._rto_timer)
+            self._rto_timer = None
+            if self._in_recovery:
+                self.cwnd = self.ssthresh
+                self._in_recovery = False
+            elif self.cwnd < self.ssthresh:
+                self.cwnd += 1.0          # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+            if self.high_acked >= self.total_packets:
+                self._finish()
+                return
+            self._arm_rto()
+            if self._pacing_timer is None:
+                self._try_send()
+        elif ack == self.high_acked:
+            self.dup_acks += 1
+            if self.dup_acks == 3 and not self._in_recovery:
+                # Fast retransmit + window halving.
+                self.ssthresh = max(self.cwnd / 2, 2.0)
+                self.cwnd = self.ssthresh
+                self._in_recovery = True
+                self._emit(self.high_acked, retransmission=True)
+            elif self._pacing_timer is None:
+                # Limited transmit: dupacks may open the inflated window.
+                self._try_send()
+
+    def _finish(self) -> None:
+        self.completed = True
+        self.completed_at = self.sim.now
+        self._cancel_timer(self._rto_timer)
+        self._cancel_timer(self._pacing_timer)
+        self._rto_timer = None
+        self._pacing_timer = None
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class TcpSink:
+    """Receiver-side state: cumulative ACK generation with an OOO buffer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: Callable[[Packet], None],
+        entry: Any,
+        flow_id: int,
+    ):
+        self.sim = sim
+        self.send_fn = send_fn
+        self.entry = entry
+        self.flow_id = flow_id
+        self.next_expected = 0
+        self.out_of_order: set[int] = set()
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    def on_data(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        seq = packet.seq
+        if seq == self.next_expected:
+            self.next_expected += 1
+            while self.next_expected in self.out_of_order:
+                self.out_of_order.discard(self.next_expected)
+                self.next_expected += 1
+        elif seq > self.next_expected:
+            self.out_of_order.add(seq)
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        ack = Packet(
+            PacketKind.ACK,
+            self.entry,
+            ACK_SIZE,
+            flow_id=self.flow_id,
+            ack=self.next_expected,
+            created_at=self.sim.now,
+            reverse=True,
+        )
+        self.send_fn(ack)

@@ -1,0 +1,153 @@
+"""Packet tracing — the ns-3-style ascii-trace facility.
+
+Attach a :class:`PacketTracer` to links and switches to record per-packet
+events (enqueue/transmit/drop/deliver, ingress/forward) with timestamps.
+Used for debugging protocol interactions and by tests that need to assert
+on exact packet orderings; deliberately opt-in, since tracing every packet
+of a large experiment is expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from .engine import Simulator
+from .link import Link
+from .packet import Packet, PacketKind
+from .switch import Switch
+
+__all__ = ["TraceEvent", "PacketTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded packet event."""
+
+    time: float
+    location: str
+    event: str          # "tx" | "drop" | "deliver" | "ingress" | "egress"
+    pid: int
+    kind: str
+    entry: Any
+    size: int
+    tag: Optional[tuple]
+
+    def format(self) -> str:
+        tag = f" tag={self.tag}" if self.tag is not None else ""
+        return (f"{self.time:.6f} {self.location:<16} {self.event:<8} "
+                f"#{self.pid} {self.kind} entry={self.entry!r} "
+                f"size={self.size}{tag}")
+
+
+class PacketTracer:
+    """Collects :class:`TraceEvent` records from instrumented components.
+
+    Args:
+        sim: event engine (timestamps).
+        predicate: optional packet filter; only matching packets are
+            recorded (e.g. ``lambda p: p.kind.is_control``).
+        max_events: hard cap to bound memory in long runs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        predicate: Optional[Callable[[Packet], bool]] = None,
+        max_events: int = 100_000,
+    ):
+        self.sim = sim
+        self.predicate = predicate
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped_records = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, location: str, event: str, packet: Packet) -> None:
+        if self.predicate is not None and not self.predicate(packet):
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_records += 1
+            return
+        self.events.append(TraceEvent(
+            time=self.sim.now,
+            location=location,
+            event=event,
+            pid=packet.pid,
+            kind=packet.kind.value,
+            entry=packet.entry,
+            size=packet.size,
+            tag=packet.tag,
+        ))
+
+    # -- instrumentation ------------------------------------------------------
+
+    def attach_link(self, link: Link) -> None:
+        """Record transmit/drop/deliver on a link (wraps its internals)."""
+        original_depart = link._depart
+        original_deliver = link._deliver
+
+        def traced_depart(packet: Packet) -> None:
+            delivered_before = link.stats.dropped_failure
+            original_depart(packet)
+            if link.stats.dropped_failure > delivered_before:
+                self.record(link.name, "drop", packet)
+            else:
+                self.record(link.name, "tx", packet)
+
+        def traced_deliver(packet: Packet) -> None:
+            self.record(link.name, "deliver", packet)
+            original_deliver(packet)
+
+        link._depart = traced_depart
+        link._deliver = traced_deliver
+
+    def attach_switch(self, switch: Switch, ports: Optional[Iterable[int]] = None) -> None:
+        """Record ingress events on a switch (per port, before hooks)."""
+        watch = set(ports) if ports is not None else None
+
+        def hook_factory(port: int):
+            def hook(packet: Packet, _in_port: int) -> bool:
+                self.record(switch.name, "ingress", packet)
+                return True
+            return hook
+
+        target_ports = watch if watch is not None else set(switch.links)
+        for port in target_ports:
+            switch.add_ingress_hook(port, hook_factory(port), front=True)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(self, event: Optional[str] = None, entry: Any = None,
+               kind: Optional[PacketKind] = None) -> list[TraceEvent]:
+        out = []
+        for ev in self.events:
+            if event is not None and ev.event != event:
+                continue
+            if entry is not None and ev.entry != entry:
+                continue
+            if kind is not None and ev.kind != kind.value:
+                continue
+            out.append(ev)
+        return out
+
+    def packet_journey(self, pid: int) -> list[TraceEvent]:
+        """All events of one packet, time-ordered."""
+        return sorted((e for e in self.events if e.pid == pid),
+                      key=lambda e: e.time)
+
+    def summary(self) -> dict:
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.event] = counts.get(ev.event, 0) + 1
+        return counts
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [ev.format() for ev in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

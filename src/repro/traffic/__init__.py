@@ -1,0 +1,32 @@
+"""Workload generation: prefixes, the §5.1 synthetic grid, Zipf skew, and
+CAIDA-like trace synthesis."""
+
+from .caida import (
+    CAIDA_TRACES,
+    SyntheticCaidaTrace,
+    TraceSlice,
+    TraceSpec,
+    zipf_mandelbrot_weights,
+)
+from .prefixes import PrefixSpace, prefix_str, random_slash24s
+from .synthetic import ENTRY_SIZE_GRID, ENTRY_SIZE_GRID_100, LOSS_RATES, EntrySize
+from .zipf import assign_rates, flows_for_rate, sample_zipf_ranks, zipf_weights
+
+__all__ = [
+    "PrefixSpace",
+    "prefix_str",
+    "random_slash24s",
+    "EntrySize",
+    "ENTRY_SIZE_GRID",
+    "ENTRY_SIZE_GRID_100",
+    "LOSS_RATES",
+    "zipf_weights",
+    "assign_rates",
+    "sample_zipf_ranks",
+    "flows_for_rate",
+    "TraceSpec",
+    "CAIDA_TRACES",
+    "SyntheticCaidaTrace",
+    "TraceSlice",
+    "zipf_mandelbrot_weights",
+]

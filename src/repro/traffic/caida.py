@@ -1,0 +1,230 @@
+"""CAIDA-like trace synthesis (§5.2, Appendix C).
+
+The paper evaluates FANcY on four CAIDA anonymized backbone traces whose
+aggregate characteristics are published in Table 5.  The traces themselves
+are not redistributable, so this module synthesizes traces that match the
+published statistics:
+
+* aggregate bit rate, packet rate and flow rate per Table 5;
+* ≈250 K /24 destination prefixes on average (§5.2), ≈560 K for trace 4
+  (Appendix D);
+* a heavy-tailed traffic-per-prefix distribution calibrated to the
+  paper's two anchors: the top-500 prefixes carry ≈60 % of the bytes
+  (the remaining ≈249 K carry ≈40 %, §5.2) and the top-10,000 carry
+  ≥95 % (§5.2 methodology).  A Zipf–Mandelbrot law with ``a = 1.7``,
+  ``q = 150`` hits both anchors within a few percent.
+
+Experiments extract 30-second *slices* and drive the simulator with one
+flow generator per prefix — optionally scaled down (fewer prefixes,
+capped packet rates) to keep Python-side simulation tractable while
+preserving the distributional shape.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .prefixes import PrefixSpace
+
+__all__ = [
+    "TraceSpec",
+    "CAIDA_TRACES",
+    "SyntheticCaidaTrace",
+    "TraceSlice",
+    "zipf_mandelbrot_weights",
+]
+
+#: Calibrated heavy-tail parameters (see module docstring).
+DEFAULT_ALPHA = 1.7
+DEFAULT_Q = 150.0
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Published characteristics of one CAIDA trace (Table 5)."""
+
+    trace_id: int
+    link: str
+    date: str
+    bit_rate_bps: float
+    packet_rate_pps: float
+    flow_rate_fps: float
+    size_bytes: float
+    duration_s: float
+    n_prefixes: int
+
+    @property
+    def mean_packet_size(self) -> float:
+        return self.bit_rate_bps / 8 / self.packet_rate_pps
+
+
+#: Table 5, with prefix populations from §5.2 (≈250 K average) and
+#: Appendix D (trace 4 has ≈560 K, the most prefixes).
+CAIDA_TRACES: tuple[TraceSpec, ...] = (
+    TraceSpec(1, "caida-equinix-chicago.dirB", "19-06-2014",
+              6.25e9, 759.1e3, 28.3e3, 163e9, 3719, 230_000),
+    TraceSpec(2, "caida-equinix-nyc.dirA", "19-04-2018",
+              3.86e9, 557e3, 26.4e3, 125e9, 3719, 210_000),
+    TraceSpec(3, "caida-equinix-nyc.dirB", "16-08-2018",
+              5.79e9, 2.03e6, 104.5e3, 465e9, 3719, 250_000),
+    TraceSpec(4, "caida-equinix-nyc.dirB", "17-01-2019",
+              4.72e9, 1.56e6, 90.7e3, 345e9, 3720, 560_000),
+)
+
+
+def zipf_mandelbrot_weights(n: int, alpha: float = DEFAULT_ALPHA, q: float = DEFAULT_Q) -> list[float]:
+    """Normalized Zipf–Mandelbrot weights ``w_i ∝ (i + q)^-alpha``."""
+    if n <= 0:
+        raise ValueError("need at least one prefix")
+    raw = [(i + q) ** (-alpha) for i in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+@dataclass(frozen=True)
+class TraceSlice:
+    """A time slice of a trace, ready to drive flow generators.
+
+    Attributes:
+        prefixes: prefixes present in the slice, heaviest first.
+        rates_bps: per-prefix bit rate.
+        flows_per_second: per-prefix flow arrival rate.
+        packet_size: mean packet size to use for generated flows.
+    """
+
+    prefixes: tuple
+    rates_bps: dict
+    flows_per_second: dict
+    packet_size: int
+
+    @property
+    def total_rate_bps(self) -> float:
+        return sum(self.rates_bps.values())
+
+    def top(self, n: int) -> list:
+        return list(self.prefixes[:n])
+
+
+class SyntheticCaidaTrace:
+    """A synthesized trace matching a :class:`TraceSpec`.
+
+    Args:
+        spec: published trace characteristics to match.
+        seed: RNG seed (prefix identities, jitter).
+        n_prefixes: override the prefix population (downscaling).
+        alpha, q: heavy-tail parameters.
+    """
+
+    def __init__(
+        self,
+        spec: TraceSpec,
+        seed: int = 0,
+        n_prefixes: Optional[int] = None,
+        alpha: float = DEFAULT_ALPHA,
+        q: float = DEFAULT_Q,
+    ):
+        self.spec = spec
+        self.seed = seed
+        self.n_prefixes = n_prefixes if n_prefixes is not None else spec.n_prefixes
+        self.alpha = alpha
+        self.q = q
+        self.space = PrefixSpace(self.n_prefixes, seed=seed + spec.trace_id * 7919)
+        self._weights = zipf_mandelbrot_weights(self.n_prefixes, alpha, q)
+        # Flow arrivals skew less than bytes: heavier prefixes host fatter
+        # flows, not only more flows.  sqrt-proportional allocation keeps
+        # per-flow rates spanning the paper's grid.
+        flow_raw = [math.sqrt(w) for w in self._weights]
+        flow_total = sum(flow_raw)
+        self._flow_share = [f / flow_total for f in flow_raw]
+
+    # -- whole-trace statistics ---------------------------------------------
+
+    @property
+    def prefixes(self) -> Sequence[str]:
+        """Prefixes ordered by traffic rank (heaviest first)."""
+        return self.space.prefixes
+
+    def rate_of(self, rank: int) -> float:
+        """Bit rate of the prefix at ``rank`` (0-based)."""
+        return self.spec.bit_rate_bps * self._weights[rank]
+
+    def top_share(self, n: int) -> float:
+        """Fraction of bytes carried by the top-``n`` prefixes."""
+        return sum(self._weights[: min(n, self.n_prefixes)])
+
+    def top_prefixes(self, n: int) -> list[str]:
+        return list(self.space.prefixes[:n])
+
+    def table5_row(self) -> dict:
+        """Row for the Table 5 regeneration."""
+        s = self.spec
+        return {
+            "trace_id": s.trace_id,
+            "link": s.link,
+            "date": s.date,
+            "bit_rate_gbps": s.bit_rate_bps / 1e9,
+            "packet_rate_pps": s.packet_rate_pps,
+            "flow_rate_fps": s.flow_rate_fps,
+            "size_gb": s.size_bytes / 1e9,
+            "duration_s": s.duration_s,
+            "n_prefixes": self.n_prefixes,
+            "mean_packet_size": s.mean_packet_size,
+            "top500_byte_share": self.top_share(500),
+            "top10000_byte_share": self.top_share(10_000),
+        }
+
+    # -- slice extraction ------------------------------------------------------
+
+    def slice(
+        self,
+        start_s: Optional[float] = None,
+        duration_s: float = 30.0,
+        max_prefixes: Optional[int] = None,
+        rate_scale: float = 1.0,
+        min_rate_bps: float = 1e3,
+        jitter: float = 0.2,
+    ) -> TraceSlice:
+        """Extract a randomized slice of the trace.
+
+        Per-prefix rates are the trace-wide means perturbed by lognormal-ish
+        jitter (prefix activity varies slice to slice — the paper notes the
+        top prefixes of a slice need not match the trace-wide top-500).
+
+        Args:
+            start_s: slice offset; only used to derive the jitter RNG, as
+                the synthetic model is stationary.
+            duration_s: slice length (30 s in the paper's methodology).
+            max_prefixes: keep only the heaviest N prefixes (downscaling).
+            rate_scale: multiply all rates (downscaling).
+            min_rate_bps: drop prefixes below this rate after scaling.
+            jitter: multiplicative rate perturbation amplitude.
+        """
+        if duration_s <= 0:
+            raise ValueError("slice duration must be positive")
+        rng = random.Random((self.seed, self.spec.trace_id, start_s, duration_s).__repr__())
+        n = self.n_prefixes if max_prefixes is None else min(max_prefixes, self.n_prefixes)
+        prefixes = []
+        rates: dict[str, float] = {}
+        fps: dict[str, float] = {}
+        total_fps = self.spec.flow_rate_fps
+        for rank in range(n):
+            prefix = self.space.prefixes[rank]
+            factor = math.exp(rng.uniform(-jitter, jitter))
+            rate = self.spec.bit_rate_bps * self._weights[rank] * factor * rate_scale
+            if rate < min_rate_bps:
+                continue
+            prefixes.append(prefix)
+            rates[prefix] = rate
+            flow_rate = total_fps * self._flow_share[rank] * rate_scale
+            # At least one flow every slice so the prefix is observable.
+            fps[prefix] = max(flow_rate, 1.0 / duration_s)
+        prefixes.sort(key=lambda p: -rates[p])
+        return TraceSlice(
+            prefixes=tuple(prefixes),
+            rates_bps=rates,
+            flows_per_second=fps,
+            packet_size=int(round(self.spec.mean_packet_size)),
+        )

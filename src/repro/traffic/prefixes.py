@@ -1,0 +1,62 @@
+"""IPv4 prefix utilities.
+
+Entries in the evaluation are destination prefixes.  We keep them as
+plain strings (``"a.b.c.0/24"``) so they stay hashable and readable in
+reports, and provide helpers to synthesize realistic prefix populations
+(CAIDA traces anonymize at /24 granularity, §5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["prefix_str", "random_slash24s", "PrefixSpace"]
+
+
+def prefix_str(value: int, length: int = 24) -> str:
+    """Render a 32-bit integer network address as ``a.b.c.d/len``."""
+    if not 0 <= value < 2 ** 32:
+        raise ValueError(f"address out of range: {value}")
+    octets = [(value >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+    return ".".join(str(o) for o in octets) + f"/{length}"
+
+
+def random_slash24s(count: int, seed: int = 0) -> list[str]:
+    """``count`` distinct random /24 prefixes (deterministic per seed)."""
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    if count > 2 ** 24:
+        raise ValueError("not that many /24s exist")
+    rng = random.Random(seed)
+    nets = rng.sample(range(2 ** 24), count)
+    return [prefix_str(n << 8) for n in nets]
+
+
+class PrefixSpace:
+    """A reusable universe of /24 prefixes for experiments.
+
+    Provides stable prefix identities across repetitions so that, e.g.,
+    "the 500 top prefixes" and "the failed prefixes" refer to the same
+    strings in every run with the same seed.
+    """
+
+    def __init__(self, count: int, seed: int = 0):
+        self.prefixes = random_slash24s(count, seed)
+        self._index = {p: i for i, p in enumerate(self.prefixes)}
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.prefixes)
+
+    def __getitem__(self, i: int) -> str:
+        return self.prefixes[i]
+
+    def index(self, prefix: str) -> int:
+        return self._index[prefix]
+
+    def sample(self, count: int, seed: int = 0) -> list[str]:
+        rng = random.Random(seed)
+        return rng.sample(self.prefixes, count)

@@ -1,0 +1,81 @@
+"""Synthetic workloads: the §5.1 benchmarking grid.
+
+The paper sweeps 18 entry sizes, each a (total throughput, flows per
+second) pair from 4 Kbps / 1 fps up to 500 Mbps / 250 fps, against 6 loss
+rates.  :data:`ENTRY_SIZE_GRID` reproduces the exact grid from Figures 7
+and 9a, :data:`ENTRY_SIZE_GRID_100` the Figure 9b variant (which tops out
+at 200 Mbps), and :data:`LOSS_RATES` the loss-rate axis.
+
+``EntrySize`` also provides the scaled-down variants used by the default
+benchmark harness: packet rates are capped while keeping the flow
+structure, preserving behaviour shape at tractable simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EntrySize", "ENTRY_SIZE_GRID", "ENTRY_SIZE_GRID_100", "LOSS_RATES"]
+
+
+@dataclass(frozen=True)
+class EntrySize:
+    """One row of the Figure 7 / 9 heatmaps."""
+
+    rate_bps: float
+    flows_per_second: float
+
+    @property
+    def label(self) -> str:
+        rate = self.rate_bps
+        if rate >= 1e6:
+            rate_s = f"{rate / 1e6:g}Mbps"
+        else:
+            rate_s = f"{rate / 1e3:g}Kbps"
+        return f"{rate_s}/{self.flows_per_second:g}"
+
+    @property
+    def per_flow_bps(self) -> float:
+        return self.rate_bps / self.flows_per_second
+
+    def packets_per_second(self, packet_size: int = 1500) -> float:
+        return self.rate_bps / (packet_size * 8)
+
+    def scaled(self, max_pps: float, packet_size: int = 1500) -> "EntrySize":
+        """Cap the packet rate at ``max_pps`` preserving the flow count.
+
+        Used by the reduced benchmark harness: detection behaviour depends
+        on packets per counting session, which saturates well below the
+        paper's fattest entries, so capping preserves the heatmap shape.
+        """
+        pps = self.packets_per_second(packet_size)
+        if pps <= max_pps:
+            return self
+        return EntrySize(max_pps * packet_size * 8, self.flows_per_second)
+
+
+def _grid(rows: list[tuple[float, float]]) -> tuple[EntrySize, ...]:
+    return tuple(EntrySize(rate, fps) for rate, fps in rows)
+
+
+#: Figure 7 / 9a rows, largest to smallest (paper order).
+ENTRY_SIZE_GRID: tuple[EntrySize, ...] = _grid([
+    (500e6, 250), (100e6, 200), (50e6, 150), (10e6, 150), (10e6, 100),
+    (1e6, 100), (1e6, 50), (500e3, 50), (500e3, 25), (100e3, 25),
+    (100e3, 10), (50e3, 10), (50e3, 5), (25e3, 5), (25e3, 2),
+    (8e3, 2), (8e3, 1), (4e3, 1),
+])
+
+#: Figure 9b rows (100-entry failures; the grid tops out at 200 Mbps).
+ENTRY_SIZE_GRID_100: tuple[EntrySize, ...] = _grid([
+    (200e6, 200), (100e6, 200), (50e6, 150), (10e6, 150), (10e6, 100),
+    (1e6, 100), (1e6, 50), (500e3, 50), (500e3, 25), (100e3, 25),
+    (100e3, 10), (50e3, 10), (50e3, 5), (25e3, 5), (25e3, 2),
+    (8e3, 2), (8e3, 1), (4e3, 1),
+])
+
+#: Loss-rate axis of the heatmaps: 100 %, 50 %, 10 %, 1 %, 0.1 %, and the
+#: paper's "5.0·10⁻⁷" column header which is the 50 % row rendered oddly —
+#: reading Figure 7's x axis left to right: 100, 50, 10, 1, 0.1, plus a
+#: near-zero control.  We use the five meaningful rates.
+LOSS_RATES: tuple[float, ...] = (1.0, 0.5, 0.1, 0.01, 0.001)

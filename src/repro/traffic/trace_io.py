@@ -1,0 +1,88 @@
+"""Trace-slice serialization.
+
+Lets experiments snapshot the exact workload they ran (a
+:class:`~repro.traffic.caida.TraceSlice`) to JSON and reload it later —
+so a Table 3 result can be re-examined against the *same* per-prefix
+rates without regenerating the synthetic trace, and so users can feed
+their own measured per-prefix workloads into the harness in place of the
+synthetic CAIDA model.
+
+Format (versioned)::
+
+    {
+      "format": "fancy-trace-slice/1",
+      "packet_size": 783,
+      "prefixes": [
+        {"prefix": "1.2.3.0/24", "rate_bps": 123456.0, "flows_per_second": 3.5},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from .caida import TraceSlice
+
+__all__ = ["save_slice", "load_slice", "slice_to_dict", "slice_from_dict"]
+
+FORMAT = "fancy-trace-slice/1"
+
+
+def slice_to_dict(sl: TraceSlice) -> dict:
+    """Serializable representation of a slice (heaviest prefix first)."""
+    return {
+        "format": FORMAT,
+        "packet_size": sl.packet_size,
+        "prefixes": [
+            {
+                "prefix": prefix,
+                "rate_bps": sl.rates_bps[prefix],
+                "flows_per_second": sl.flows_per_second[prefix],
+            }
+            for prefix in sl.prefixes
+        ],
+    }
+
+
+def slice_from_dict(data: dict) -> TraceSlice:
+    """Inverse of :func:`slice_to_dict`, with format validation."""
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported trace-slice format {data.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    prefixes = []
+    rates = {}
+    fps = {}
+    for row in data.get("prefixes", []):
+        prefix = row["prefix"]
+        if prefix in rates:
+            raise ValueError(f"duplicate prefix {prefix!r} in slice")
+        rate = float(row["rate_bps"])
+        flow_rate = float(row["flows_per_second"])
+        if rate < 0 or flow_rate <= 0:
+            raise ValueError(f"invalid rates for {prefix!r}")
+        prefixes.append(prefix)
+        rates[prefix] = rate
+        fps[prefix] = flow_rate
+    prefixes.sort(key=lambda p: -rates[p])
+    return TraceSlice(
+        prefixes=tuple(prefixes),
+        rates_bps=rates,
+        flows_per_second=fps,
+        packet_size=int(data.get("packet_size", 1500)),
+    )
+
+
+def save_slice(sl: TraceSlice, path: Union[str, pathlib.Path]) -> None:
+    """Write a slice to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(slice_to_dict(sl), indent=1))
+
+
+def load_slice(path: Union[str, pathlib.Path]) -> TraceSlice:
+    """Read a slice from a JSON file."""
+    return slice_from_dict(json.loads(pathlib.Path(path).read_text()))

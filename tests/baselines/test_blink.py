@@ -1,0 +1,71 @@
+"""Tests for the Blink inference model (§2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.blink import BlinkModel
+
+
+@pytest.fixture
+def blink():
+    return BlinkModel()
+
+
+class TestDetectionProbability:
+    def test_full_link_failure_detected(self, blink):
+        """Blink's design point: failures affecting all flows."""
+        assert blink.detection_probability(1.0, 1.0) > 0.99
+
+    def test_minority_gray_failure_missed(self, blink):
+        """§2.3: Blink fundamentally cannot detect a failure affecting a
+        minority of flows."""
+        assert blink.detection_probability(0.2, 1.0) < 1e-4
+        assert blink.detection_probability(0.1, 1.0) < 1e-6
+
+    def test_sharp_transition_around_majority(self, blink):
+        below = blink.detection_probability(0.40, 1.0)
+        above = blink.detection_probability(0.65, 1.0)
+        assert below < 0.1 < 0.9 < above
+
+    def test_partial_loss_dilutes_detection(self, blink):
+        """Gray failures spread retransmissions past the window (§2.3)."""
+        full = blink.detection_probability(0.6, packet_loss_rate=1.0)
+        partial = blink.detection_probability(0.6, packet_loss_rate=0.05)
+        assert partial < full
+
+    def test_zero_fraction_never_fires(self, blink):
+        assert blink.detection_probability(0.0, 1.0) == 0.0
+
+    def test_input_validation(self, blink):
+        with pytest.raises(ValueError):
+            blink.detection_probability(1.5)
+        with pytest.raises(ValueError):
+            blink.detection_probability(0.5, packet_loss_rate=-0.1)
+
+
+class TestBlindSpot:
+    def test_blind_spot_covers_minority_failures(self, blink):
+        spot = blink.gray_failure_blind_spot(packet_loss_rate=1.0)
+        assert 0.2 < spot < 0.5
+
+    def test_blind_spot_grows_for_low_loss_rates(self, blink):
+        assert (blink.gray_failure_blind_spot(0.02)
+                > blink.gray_failure_blind_spot(1.0))
+
+
+class TestParameters:
+    def test_majority_count(self):
+        assert BlinkModel(monitored_flows=64).majority_count == 33
+
+    def test_retransmit_window_probability(self, blink):
+        assert blink.retransmit_in_window_probability(1.0) == 1.0
+        assert blink.retransmit_in_window_probability(0.0) == 0.0
+        mid = blink.retransmit_in_window_probability(0.1)
+        assert 0.3 < mid < 0.5  # 1 - 0.9^4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlinkModel(monitored_flows=0)
+        with pytest.raises(ValueError):
+            BlinkModel(majority_fraction=0.0)

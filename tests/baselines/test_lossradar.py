@@ -1,0 +1,82 @@
+"""Tests for the Loss Radar requirements model (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.lossradar import TABLE2_SWITCHES, LossRadarModel, SwitchProfile
+
+
+@pytest.fixture
+def model():
+    return LossRadarModel()
+
+
+class TestRequirements:
+    def test_lost_packets_per_epoch(self, model):
+        switch = SwitchProfile("t", 32, 100e9)
+        # 3.2 Tbps aggregate / 12 kbit = 266.7 Mpps; ×0.001 ×0.01 s.
+        assert model.lost_packets_per_epoch(switch, 0.001) == pytest.approx(2666.7, rel=1e-3)
+
+    def test_memory_linear_in_loss_rate(self, model):
+        switch = TABLE2_SWITCHES[0]
+        m1 = model.memory_ratio(switch, 0.001)
+        m2 = model.memory_ratio(switch, 0.002)
+        assert m2 == pytest.approx(2 * m1)
+
+    def test_memory_linear_in_line_rate(self, model):
+        small, big = TABLE2_SWITCHES
+        ratio = model.memory_ratio(big, 0.001) / model.memory_ratio(small, 0.001)
+        # 64×400G vs 32×100G = 8× aggregate.
+        assert ratio == pytest.approx(8.0)
+
+    def test_table2_first_cell_matches_paper(self, model):
+        """Paper: ×0.21 at 0.1 % loss on 100 Gbps × 32 ports."""
+        assert model.memory_ratio(TABLE2_SWITCHES[0], 0.001) == pytest.approx(0.21, abs=0.05)
+
+    def test_exceeds_capabilities_at_one_percent(self, model):
+        """The red numbers of Table 2: by 1 % loss, requirements exceed
+        hardware on both switches and both metrics."""
+        for switch in TABLE2_SWITCHES:
+            assert max(model.memory_ratio(switch, 0.01),
+                       model.read_ratio(switch, 0.01)) > 1.0
+
+    def test_max_supported_loss_rate_small(self, model):
+        """§2.3: Loss Radar cannot support average loss above ≈0.15 % on
+        the 32×100G switch; our calibration lands in the same band."""
+        rate = model.max_supported_loss_rate(TABLE2_SWITCHES[0])
+        assert 0.0005 < rate < 0.005
+
+    def test_max_supported_consistent_with_ratios(self, model):
+        for switch in TABLE2_SWITCHES:
+            r = model.max_supported_loss_rate(switch)
+            assert max(model.memory_ratio(switch, r),
+                       model.read_ratio(switch, r)) == pytest.approx(1.0)
+
+    def test_table2_structure(self, model):
+        table = model.table2()
+        for switch in TABLE2_SWITCHES:
+            assert set(table[switch.name]) == {
+                "memory_ratio", "read_ratio", "max_supported_loss_rate"
+            }
+
+    def test_read_requirement_not_doubled_by_buffering(self, model):
+        single = LossRadarModel(double_buffered=False)
+        assert model.required_read_bps(TABLE2_SWITCHES[0], 0.001) == pytest.approx(
+            single.required_read_bps(TABLE2_SWITCHES[0], 0.001)
+        )
+
+    def test_memory_doubled_by_buffering(self):
+        buffered = LossRadarModel(double_buffered=True)
+        single = LossRadarModel(double_buffered=False)
+        s = TABLE2_SWITCHES[0]
+        assert buffered.required_memory_bits(s, 0.001) == pytest.approx(
+            2 * single.required_memory_bits(s, 0.001)
+        )
+
+    def test_larger_epoch_needs_more_memory(self):
+        """§2.3: gathering IBFs less frequently is counter-productive."""
+        slow = LossRadarModel(epoch_s=0.1)
+        fast = LossRadarModel(epoch_s=0.01)
+        s = TABLE2_SWITCHES[0]
+        assert slow.required_memory_bits(s, 0.001) > fast.required_memory_bits(s, 0.001)

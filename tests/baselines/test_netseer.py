@@ -1,0 +1,92 @@
+"""Tests for the NetSeer buffer model (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.netseer import NetSeerBuffer, NetSeerModel
+
+
+@pytest.fixture
+def model():
+    return NetSeerModel()
+
+
+class TestAnalyticalModel:
+    def test_memory_linear_in_latency(self, model):
+        m1 = model.required_memory_bytes(64, 100e9, 1e-3)
+        m10 = model.required_memory_bytes(64, 100e9, 10e-3)
+        assert m10 == pytest.approx(10 * m1)
+
+    def test_memory_linear_in_bandwidth(self, model):
+        m100 = model.required_memory_bytes(64, 100e9, 1e-3)
+        m400 = model.required_memory_bytes(64, 400e9, 1e-3)
+        assert m400 == pytest.approx(4 * m100)
+
+    def test_isp_settings_exceed_switch_memory(self, model):
+        """Figure 2's message: >100 Gbps links with millisecond latency
+        need hundreds of MB, versus ~15 MB available."""
+        required = model.required_memory_bytes(64, 100e9, 10e-3)
+        assert required > 50e6
+        assert not model.operational(64, 100e9, 10e-3, available_bytes=15e6)
+
+    def test_data_center_settings_are_fine(self, model):
+        """Low-latency DC links fit: NetSeer's home turf."""
+        assert model.operational(64, 100e9, 50e-6, available_bytes=15e6)
+
+    def test_figure2_curves_shape(self, model):
+        curves = model.figure2()
+        for bw, curve in curves.items():
+            values = list(curve.values())
+            assert values == sorted(values)  # monotone in latency
+        lat = 10e-3
+        assert curves[400e9][lat] > curves[200e9][lat] > curves[100e9][lat]
+
+
+class TestBufferSimulation:
+    def test_no_overwrite_when_sized_for_rtt(self):
+        buffer = NetSeerBuffer(capacity_records=100, rtt_s=0.01)
+        # 1000 pps × 0.01 s RTT = 10 in flight << 100 capacity.
+        for i in range(500):
+            buffer.on_send(i, i * 0.001)
+        assert buffer.operational
+        assert buffer.visibility_loss_fraction == 0.0
+
+    def test_overwrites_when_undersized(self):
+        buffer = NetSeerBuffer(capacity_records=5, rtt_s=0.01)
+        for i in range(500):
+            buffer.on_send(i, i * 0.001)  # 10 in flight > 5 capacity
+        assert not buffer.operational
+        assert buffer.visibility_loss_fraction > 0.3
+
+    def test_retire_frees_capacity(self):
+        buffer = NetSeerBuffer(capacity_records=10, rtt_s=0.001)
+        for i in range(100):
+            buffer.on_send(i, i * 0.01)  # sparse sends: all retire in time
+        assert buffer.operational
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            NetSeerBuffer(0, 0.01)
+
+    def test_simulation_confirms_analytical_threshold(self):
+        """The executable model and the closed form agree on where
+        NetSeer stops being operational (the paper's ns-3 confirmation)."""
+        model = NetSeerModel()
+        available = 15e6
+        pps = 100e9 / (model.packet_size * 8)
+        per_port = available / 64
+        capacity = int(per_port / model.record_bytes)
+        for latency, should_work in ((50e-6, True), (10e-3, False)):
+            rtt = latency * model.rtt_factor
+            buffer = NetSeerBuffer(capacity, rtt)
+            interval = 1.0 / pps
+            # Long enough to fill the in-flight window and wrap if it will.
+            n_sends = int(2 * max(capacity, pps * rtt)) + 10
+            now = 0.0
+            for i in range(n_sends):
+                buffer.on_send(i, now)
+                now += interval
+            analytic = model.operational(64, 100e9, latency, available)
+            assert analytic == should_work
+            assert buffer.operational == should_work

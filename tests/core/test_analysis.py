@@ -1,0 +1,188 @@
+"""Tests for the Appendix A analysis formulas, cross-checked empirically."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    DEDICATED_COUNTER_BITS,
+    collision_probability,
+    dedicated_memory_bits,
+    expected_collisions,
+    max_dedicated_entries,
+    tree_memory_bits,
+    tree_nodes,
+    tree_total_memory_bits,
+    widest_tree_for_budget,
+)
+from repro.core.hashtree import HashTree, HashTreeParams
+
+
+class TestCollisionProbability:
+    def test_zero_faulty_entries(self):
+        params = HashTreeParams(width=8, depth=3)
+        assert collision_probability(params, 0) == 0.0
+
+    def test_formula_matches_appendix(self):
+        """p = 1 - exp(-1/(m/n)) with m = w^d (eq. 1)."""
+        params = HashTreeParams(width=10, depth=2)
+        m = 100
+        for n in (1, 5, 50):
+            assert collision_probability(params, n) == pytest.approx(
+                1 - math.exp(-n / m)
+            )
+
+    def test_monotone_in_faulty_entries(self):
+        params = HashTreeParams(width=16, depth=3)
+        probs = [collision_probability(params, n) for n in (1, 10, 100, 1000)]
+        assert probs == sorted(probs)
+
+    def test_bigger_tree_fewer_collisions(self):
+        small = HashTreeParams(width=8, depth=2)
+        big = HashTreeParams(width=190, depth=3)
+        assert collision_probability(big, 100) < collision_probability(small, 100)
+
+    def test_matches_empirical_collision_rate(self):
+        """Cross-check eq. (1) against brute-force hashing of entries."""
+        params = HashTreeParams(width=16, depth=2)  # m = 256 paths
+        tree = HashTree(params, seed=0)
+        n_faulty = 32
+        faulty_paths = {tree.hash_path(f"faulty-{i}") for i in range(n_faulty)}
+        probe = [f"probe-{i}" for i in range(4000)]
+        hits = sum(1 for p in probe if tree.hash_path(p) in faulty_paths)
+        expected = collision_probability(params, n_faulty)
+        assert hits / len(probe) == pytest.approx(expected, rel=0.30)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            collision_probability(HashTreeParams(width=4, depth=2), -1)
+
+
+class TestExpectedCollisions:
+    def test_scales_linearly_with_entries(self):
+        params = HashTreeParams(width=16, depth=3)
+        e1 = expected_collisions(params, 10, 1000)
+        e2 = expected_collisions(params, 10, 2000)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_eval_tree_low_false_positives(self):
+        """§5: for the evaluation tree, ~1.1 FPs with 100 failed entries
+        over ≈250 K monitored entries."""
+        params = HashTreeParams(width=190, depth=3, split=2)
+        expected = expected_collisions(params, 100, 250_000)
+        assert 0.1 < expected < 10.0
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            expected_collisions(HashTreeParams(width=4, depth=2), 1, -5)
+
+
+class TestMemoryFormulas:
+    def test_tree_nodes_matches_params(self):
+        params = HashTreeParams(width=4, depth=3, split=2, pipelined=True)
+        assert tree_nodes(params) == 7
+
+    def test_tree_memory_bits(self):
+        params = HashTreeParams(width=190, depth=3, split=2, pipelined=True)
+        assert tree_memory_bits(params) == 2 * 32 * 190 * 7
+
+    def test_dedicated_memory_80_bits_per_entry(self):
+        """§4.3: 80 bits per dedicated counter, all inclusive."""
+        assert dedicated_memory_bits(500) == 500 * 80
+        assert DEDICATED_COUNTER_BITS == 80
+
+    def test_tree_total_includes_protocol_state(self):
+        """§4.3: per side, 32w + 88 bits per node."""
+        params = HashTreeParams(width=10, depth=3, split=1, pipelined=True)
+        assert tree_total_memory_bits(params) == 2 * (32 * 10 + 88) * 3
+
+    def test_max_dedicated_entries(self):
+        # 20 KB per port / 80 bits = 2048.
+        assert max_dedicated_entries(20 * 1024) == 2048
+
+    def test_widest_tree_for_budget_roundtrip(self):
+        budget_bits = 500 * 1024 * 8
+        w = widest_tree_for_budget(budget_bits, depth=3, split=2)
+        fits = HashTreeParams(width=w, depth=3, split=2)
+        over = HashTreeParams(width=w + 1, depth=3, split=2)
+        assert tree_total_memory_bits(fits) <= budget_bits
+        assert tree_total_memory_bits(over) > budget_bits
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=10 ** 7),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=4))
+    def test_widest_tree_never_overshoots(self, budget_bits, depth, split):
+        w = widest_tree_for_budget(budget_bits, depth, split)
+        if w >= 1:
+            params = HashTreeParams(width=w, depth=depth, split=split)
+            assert tree_total_memory_bits(params) <= budget_bits
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            dedicated_memory_bits(-1)
+        with pytest.raises(ValueError):
+            max_dedicated_entries(-1)
+
+    def test_paper_eval_configuration_fits_port_budget(self):
+        """§5: 500 dedicated + d3/k2/w190 tree within 20 KB per port."""
+        total = dedicated_memory_bits(500) + tree_total_memory_bits(
+            HashTreeParams(width=190, depth=3, split=2, pipelined=True)
+        )
+        assert total <= 20 * 1024 * 8
+
+
+class TestEntryDensities:
+    """Appendix A / §4.2: how many entries share counters and paths."""
+
+    def test_entries_per_counter_uniform_split(self):
+        from repro.core.analysis import entries_per_counter
+        params = HashTreeParams(width=10, depth=3)
+        assert entries_per_counter(params, 1000, 0) == 100.0
+        assert entries_per_counter(params, 1000, 2) == 100.0
+
+    def test_partial_path_density_inversely_proportional_to_length(self):
+        from repro.core.analysis import entries_per_partial_path
+        params = HashTreeParams(width=10, depth=3)
+        d1 = entries_per_partial_path(params, 10_000, 1)
+        d2 = entries_per_partial_path(params, 10_000, 2)
+        d3 = entries_per_partial_path(params, 10_000, 3)
+        assert d1 > d2 > d3
+        assert d1 == 1000.0 and d3 == 10.0
+
+    def test_partial_path_density_matches_enumeration(self):
+        from repro.core.analysis import entries_per_partial_path
+        params = HashTreeParams(width=8, depth=2)
+        tree = HashTree(params, seed=3)
+        entries = [f"e{i}" for i in range(2000)]
+        # Average over all level-1 prefixes.
+        counts = {}
+        for e in entries:
+            prefix = tree.hash_path(e)[:1]
+            counts[prefix] = counts.get(prefix, 0) + 1
+        avg = sum(counts.values()) / params.width
+        predicted = entries_per_partial_path(params, len(entries), 1)
+        assert avg == pytest.approx(predicted, rel=0.05)
+
+    def test_leaf_sharing_probability(self):
+        from repro.core.analysis import leaf_sharing_probability
+        params = HashTreeParams(width=190, depth=3)
+        assert leaf_sharing_probability(params, 1) == 0.0
+        p = leaf_sharing_probability(params, 250_000)
+        assert 0.0 < p < 0.1  # 250K entries over 6.9M paths: rare sharing
+
+    def test_validation(self):
+        from repro.core.analysis import (
+            entries_per_counter,
+            entries_per_partial_path,
+        )
+        params = HashTreeParams(width=4, depth=2)
+        with pytest.raises(ValueError):
+            entries_per_counter(params, 10, 5)
+        with pytest.raises(ValueError):
+            entries_per_partial_path(params, 10, 0)
+        with pytest.raises(ValueError):
+            entries_per_partial_path(params, -1, 1)

@@ -1,0 +1,132 @@
+"""Tests for network-wide deployment: per-link localization (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import FancyDeployment, LinkSpec
+from repro.core.detector import FancyConfig
+from repro.simulator.apps import FlowGenerator
+from repro.simulator.engine import Simulator
+from repro.simulator.failures import EntryLossFailure
+from repro.simulator.topology import ChainTopology
+
+ENTRIES = ["e0", "e1", "e2"]
+
+
+def build_chain(sim, failure_hop=1, loss_rate=0.5):
+    failure = EntryLossFailure({"e1"}, loss_rate, start_time=1.0, seed=1)
+    topo = ChainTopology(sim, n_switches=4, failure_hop=failure_hop,
+                         loss_model=failure)
+    deployment = FancyDeployment.on_chain(
+        sim, topo.switches,
+        config=FancyConfig(high_priority=ENTRIES, tree_params=None),
+    )
+    for i, entry in enumerate(ENTRIES):
+        FlowGenerator(sim, topo.source, entry, rate_bps=1e6, flows_per_second=10,
+                      seed=i + 1, flow_id_base=(i + 1) * 1_000_000).start()
+    return topo, deployment
+
+
+class TestFullDeployment:
+    def test_monitors_every_link(self, sim):
+        topo, deployment = build_chain(sim)
+        assert len(deployment.monitors) == 3  # 4 switches, 3 forward links
+
+    def test_failure_localized_to_exactly_one_link(self, sim):
+        """The whole point of per-link deployment: the failing hop is
+        pinpointed, not just 'somewhere on the path'."""
+        topo, deployment = build_chain(sim, failure_hop=1)
+        deployment.start()
+        sim.run(until=5.0)
+        flagged_links = deployment.localize("e1")
+        assert len(flagged_links) == 1
+        assert flagged_links[0].startswith("S1:")  # the S1->S2 link
+
+    def test_healthy_entries_nowhere_flagged(self, sim):
+        topo, deployment = build_chain(sim)
+        deployment.start()
+        sim.run(until=5.0)
+        assert deployment.localize("e0") == []
+        assert deployment.localize("e2") == []
+
+    def test_reports_attributed_to_raising_link(self, sim):
+        topo, deployment = build_chain(sim, failure_hop=2)
+        deployment.start()
+        sim.run(until=5.0)
+        per_link = deployment.reports_by_link()
+        raising = [name for name, reports in per_link.items() if reports]
+        assert raising and all(name.startswith("S2:") for name in raising)
+
+    def test_all_reports_time_ordered(self, sim):
+        topo, deployment = build_chain(sim)
+        deployment.start()
+        sim.run(until=5.0)
+        merged = deployment.all_reports()
+        times = [r.time for _name, r in merged]
+        assert times == sorted(times)
+
+    def test_flagged_entries_view(self, sim):
+        topo, deployment = build_chain(sim, failure_hop=0)
+        deployment.start()
+        sim.run(until=5.0)
+        flags = deployment.flagged_entries()
+        assert flags["S0:1->S1:2"] == ["e1"]
+
+    def test_staggered_start(self, sim):
+        topo, deployment = build_chain(sim)
+        deployment.start(stagger_s=0.01)
+        sim.run(until=5.0)
+        assert deployment.localize("e1")
+
+    def test_per_link_config_override(self, sim):
+        topo = ChainTopology(sim, n_switches=3)
+        calls = []
+
+        def config_for(link: LinkSpec):
+            calls.append(link.name)
+            if link.upstream.name == "S0":
+                return FancyConfig(high_priority=["special"], tree_params=None)
+            return None
+
+        deployment = FancyDeployment.on_chain(
+            sim, topo.switches,
+            config=FancyConfig(high_priority=ENTRIES, tree_params=None),
+        )
+        # rebuild with overrides
+        sim2 = Simulator()
+        topo2 = ChainTopology(sim2, n_switches=3)
+        links = [LinkSpec(topo2.switches[0], 1, topo2.switches[1], 2),
+                 LinkSpec(topo2.switches[1], 1, topo2.switches[2], 2)]
+        deployment2 = FancyDeployment(
+            sim2, links,
+            config=FancyConfig(high_priority=ENTRIES, tree_params=None),
+            config_for=config_for,
+        )
+        first = deployment2.monitor(links[0].name)
+        second = deployment2.monitor(links[1].name)
+        assert first.config.high_priority == ["special"]
+        assert list(second.config.high_priority) == ENTRIES
+
+    def test_distinct_seeds_across_links(self, sim):
+        topo = ChainTopology(sim, n_switches=3)
+        deployment = FancyDeployment.on_chain(
+            sim, topo.switches, config=FancyConfig(high_priority=[]),
+        )
+        monitors = list(deployment.monitors.values())
+        paths = {m.tree_strategy.tree.hash_path("e") for m in monitors}
+        assert len(paths) == len(monitors)  # independent hash functions
+
+    def test_empty_deployment_rejected(self, sim):
+        with pytest.raises(ValueError):
+            FancyDeployment(sim, [])
+
+    def test_stop_all(self, sim):
+        topo, deployment = build_chain(sim)
+        deployment.start()
+        sim.run(until=1.0)
+        deployment.stop()
+        sessions = [m.dedicated_sender.session_id for m in deployment.monitors.values()]
+        sim.run(until=3.0)
+        assert [m.dedicated_sender.session_id
+                for m in deployment.monitors.values()] == sessions

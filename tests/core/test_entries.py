@@ -1,0 +1,31 @@
+"""Tests for entry specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entries import MonitoringInput, Priority
+
+
+class TestMonitoringInput:
+    def test_defaults(self):
+        spec = MonitoringInput()
+        assert spec.high_priority == ()
+        assert spec.best_effort == ()
+        assert spec.memory_bytes == 20 * 1024
+
+    def test_accepts_iterables(self):
+        spec = MonitoringInput(high_priority=(f"p{i}" for i in range(3)))
+        assert spec.n_high_priority == 3
+
+    def test_priority_labels(self):
+        assert Priority.HIGH != Priority.BEST_EFFORT
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            MonitoringInput(high_priority=["x"], best_effort=["x", "y"])
+
+    def test_immutable(self):
+        spec = MonitoringInput(high_priority=["a"])
+        with pytest.raises(Exception):
+            spec.high_priority = ()

@@ -1,0 +1,87 @@
+"""Tests for the analytical latency model — including validation against
+the packet-level simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.latency import LatencyModel
+from repro.experiments.metrics import aggregate
+from repro.experiments.runner import ExperimentSpec, run_entry_failure
+from repro.traffic.synthetic import EntrySize
+
+
+class TestClosedForm:
+    def test_paper_anchor_dedicated(self):
+        """§5.1.1: ≈70 ms ≈ exchange frequency + open/close on the paper's
+        50 ms / 10 ms-link configuration."""
+        model = LatencyModel()
+        predicted = model.dedicated_detection_s()
+        assert 0.05 < predicted < 0.12
+
+    def test_paper_anchor_tree(self):
+        """§5.1.2: ≈680 ms ≈ 3 × the 200 ms zooming speed."""
+        model = LatencyModel()
+        predicted = model.tree_detection_s()
+        assert 0.55 < predicted < 0.75
+
+    def test_paper_anchor_uniform(self):
+        """§5.1.3: about one zooming interval."""
+        model = LatencyModel()
+        assert 0.1 < model.uniform_detection_s() < 0.25
+
+    def test_first_loss_delay(self):
+        """§5.1.1's example: one packet/second at 50% loss → first loss
+        after ≈2 s on average."""
+        model = LatencyModel()
+        assert model.first_loss_delay_s(1.0, 0.5) == pytest.approx(2.0)
+        assert model.first_loss_delay_s(0.0, 1.0) == float("inf")
+
+    def test_cycle_composition(self):
+        model = LatencyModel(link_delay_s=0.001, twait_s=0.0)
+        assert model.cycle_s(0.05) == pytest.approx(0.05 + 0.004)
+
+    def test_lower_link_delay_speeds_detection(self):
+        """§5: for 1 ms links, dedicated detection roughly doubles in
+        speed versus 10 ms links."""
+        slow = LatencyModel(link_delay_s=0.010)
+        fast = LatencyModel(link_delay_s=0.001)
+        ratio = slow.dedicated_detection_s() / fast.dedicated_detection_s()
+        assert 1.5 < ratio < 2.5
+
+    def test_multi_entry_drain_scales_with_burst(self):
+        model = LatencyModel()
+        single = model.multi_entry_drain_s(1, split=2)
+        burst = model.multi_entry_drain_s(100, split=2)
+        assert burst > 4 * single
+        # Paper: 100-entry bursts drain in ≈5.3–5.7 s with k=2, d=3.
+        assert 4.0 < burst < 8.0
+
+    def test_bigger_split_drains_faster(self):
+        model = LatencyModel()
+        assert (model.multi_entry_drain_s(50, split=3)
+                < model.multi_entry_drain_s(50, split=2))
+
+
+class TestAgainstSimulation:
+    def test_dedicated_prediction_matches_sim(self):
+        model = LatencyModel()
+        spec = ExperimentSpec(entry_size=EntrySize(2e6, 20), loss_rate=1.0,
+                              mode="dedicated", duration_s=6.0,
+                              n_background=3, max_pps_per_entry=200)
+        cell = aggregate([run_entry_failure(spec, rep=r) for r in range(4)])
+        predicted = model.dedicated_detection_s(entry_pps=166, loss_rate=1.0)
+        assert cell.avg_detection_time == pytest.approx(predicted, rel=0.6)
+
+    def test_tree_prediction_matches_sim(self):
+        model = LatencyModel()
+        spec = ExperimentSpec(entry_size=EntrySize(2e6, 20), loss_rate=1.0,
+                              mode="tree", duration_s=8.0,
+                              n_background=3, max_pps_per_entry=200)
+        cell = aggregate([run_entry_failure(spec, rep=r) for r in range(4)])
+        predicted = model.tree_detection_s(entry_pps=166, loss_rate=1.0)
+        assert cell.avg_detection_time == pytest.approx(predicted, rel=0.5)
+
+    def test_ordering_dedicated_faster_than_tree(self):
+        model = LatencyModel()
+        assert model.dedicated_detection_s() < model.tree_detection_s()

@@ -1,0 +1,89 @@
+"""Tests for input translation / memory budgeting (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entries import MonitoringInput
+from repro.core.memory import MemoryBudgetError, plan_memory
+
+
+def spec(n_high=0, n_best=0, kb=20):
+    return MonitoringInput(
+        high_priority=[f"hp{i}" for i in range(n_high)],
+        best_effort=[f"be{i}" for i in range(n_best)],
+        memory_bytes=kb * 1024,
+    )
+
+
+class TestPlanMemory:
+    def test_paper_eval_input_fits(self):
+        """§5: 500 dedicated + tree within 20 KB/port (1.25 MB / 64)."""
+        plan = plan_memory(spec(n_high=500, n_best=1000), width=190)
+        assert plan.n_dedicated == 500
+        assert plan.tree.width == 190
+        assert plan.total_bits <= plan.budget_bits
+
+    def test_dedicated_only_when_no_best_effort(self):
+        plan = plan_memory(spec(n_high=100))
+        assert plan.tree is None
+        assert plan.dedicated_bits == 100 * 80
+
+    def test_width_maximized_within_budget(self):
+        plan = plan_memory(spec(n_high=0, n_best=10))
+        assert plan.tree is not None
+        bigger = plan.tree.width + 1
+        from repro.core.analysis import tree_total_memory_bits
+        from repro.core.hashtree import HashTreeParams
+        over = HashTreeParams(width=bigger, depth=3, split=2)
+        assert tree_total_memory_bits(over) > plan.budget_bits - plan.dedicated_bits
+
+    def test_default_shape_is_depth3_split2(self):
+        """§4.3: the sensitivity analysis selects split 2, depth 3."""
+        plan = plan_memory(spec(n_best=10))
+        assert plan.tree.depth == 3
+        assert plan.tree.split == 2
+
+    def test_error_when_dedicated_exceed_budget(self):
+        """Figure 1: the system returns an error when the high-priority
+        set cannot be supported."""
+        with pytest.raises(MemoryBudgetError):
+            plan_memory(spec(n_high=3000, kb=1))  # 3000*80 bits > 1KB
+
+    def test_error_when_forced_width_does_not_fit(self):
+        with pytest.raises(MemoryBudgetError):
+            plan_memory(spec(n_high=0, n_best=10, kb=1), width=190)
+
+    def test_error_when_tree_unusably_narrow(self):
+        with pytest.raises(MemoryBudgetError):
+            plan_memory(spec(n_high=190, n_best=10, kb=2), min_width=8)
+
+    def test_slack_accounting(self):
+        plan = plan_memory(spec(n_high=10))
+        assert plan.slack_bits == plan.budget_bits - 10 * 80
+        assert plan.total_bits == plan.dedicated_bits + plan.tree_bits
+
+    def test_nonpipelined_tree_fits_wider(self):
+        pipelined = plan_memory(spec(n_best=10, kb=10), pipelined=True)
+        staged = plan_memory(spec(n_best=10, kb=10), pipelined=False)
+        assert staged.tree.width > pipelined.tree.width
+
+
+class TestMonitoringInput:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringInput(high_priority=["a"], best_effort=["a"])
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringInput(memory_bytes=0)
+
+    def test_counts(self):
+        s = spec(n_high=3, n_best=7)
+        assert s.n_high_priority == 3
+        assert s.n_best_effort == 7
+
+    def test_frozen(self):
+        s = spec(1, 1)
+        with pytest.raises(Exception):
+            s.memory_bytes = 5

@@ -1,0 +1,130 @@
+"""Tests for the detection-probability model — including a Monte Carlo
+cross-check and validation against simulated heatmap cells."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.probability import DetectionProbabilityModel
+
+
+class TestPerSession:
+    def test_no_loss_no_mismatch(self):
+        model = DetectionProbabilityModel()
+        assert model.session_mismatch_probability(100, 0.0) == 0.0
+
+    def test_high_rate_high_loss_certain(self):
+        model = DetectionProbabilityModel()
+        assert model.session_mismatch_probability(10_000, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_rate_and_loss(self):
+        model = DetectionProbabilityModel()
+        assert (model.session_mismatch_probability(100, 0.1)
+                > model.session_mismatch_probability(10, 0.1))
+        assert (model.session_mismatch_probability(100, 0.1)
+                > model.session_mismatch_probability(100, 0.01))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectionProbabilityModel(duty_cycle=0)
+        with pytest.raises(ValueError):
+            DetectionProbabilityModel(depth=0)
+
+
+class TestNoDrop:
+    def test_paper_anchor_80_percent(self):
+        """§5.1.1: tiny entries at 0.1 % loss see no drop in 80 % of the
+        30 s experiments.  An 8 Kbps entry ≈ 0.67 pps: P[no drop] =
+        exp(-0.67 * 30 * 0.001 * duty) ≈ 0.98; the paper's 80 % bucket
+        aggregates slightly larger entries — check the right regime."""
+        model = DetectionProbabilityModel(session_s=0.050, depth=1)
+        p = model.no_drop_probability(entry_pps=8, loss_rate=0.001, horizon_s=30)
+        assert 0.5 < p < 0.9
+
+    def test_fat_entries_always_see_drops(self):
+        model = DetectionProbabilityModel()
+        assert model.no_drop_probability(10_000, 0.01, 30) < 1e-9
+
+
+class TestRunRecurrence:
+    def _mc(self, p: float, m: int, depth: int, trials: int = 20_000,
+            seed: int = 1) -> float:
+        rng = random.Random(seed)
+        hits = 0
+        for _ in range(trials):
+            streak = 0
+            for _ in range(m):
+                if rng.random() < p:
+                    streak += 1
+                    if streak >= depth:
+                        hits += 1
+                        break
+                else:
+                    streak = 0
+        return hits / trials
+
+    def test_matches_monte_carlo(self):
+        model = DetectionProbabilityModel(session_s=1.0, duty_cycle=1.0, depth=3)
+        # Pick pps/loss giving a mid-range per-session probability.
+        p = model.session_mismatch_probability(1.0, 0.5)
+        analytic = model.detection_probability(1.0, 0.5, horizon_s=20)
+        empirical = self._mc(p, 20, 3)
+        assert analytic == pytest.approx(empirical, abs=0.02)
+
+    def test_depth_one_is_geometric(self):
+        model = DetectionProbabilityModel(session_s=1.0, duty_cycle=1.0, depth=1)
+        p = model.session_mismatch_probability(2.0, 0.25)
+        analytic = model.detection_probability(2.0, 0.25, horizon_s=10)
+        assert analytic == pytest.approx(1 - (1 - p) ** 10, rel=1e-9)
+
+    def test_short_horizon_zero(self):
+        model = DetectionProbabilityModel(session_s=1.0, depth=3)
+        assert model.detection_probability(100, 1.0, horizon_s=2.0) == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=1000),
+           st.floats(min_value=0.001, max_value=1.0))
+    def test_probability_in_unit_interval(self, pps, loss):
+        model = DetectionProbabilityModel()
+        p = model.detection_probability(pps, loss, horizon_s=10)
+        assert 0.0 <= p <= 1.0
+
+    def test_monotone_in_horizon(self):
+        model = DetectionProbabilityModel()
+        ps = [model.detection_probability(5, 0.1, h) for h in (2, 5, 10, 30)]
+        assert ps == sorted(ps)
+
+
+class TestAgainstHeatmapShape:
+    """The model must reproduce the Figure 9a TPR boundary qualitatively."""
+
+    def test_high_loss_everything_detected(self):
+        model = DetectionProbabilityModel()
+        # 1 Mbps entry ≈ 83 pps at 1500 B.
+        assert model.detection_probability(83, 1.0, 30) > 0.99
+
+    def test_low_loss_small_entry_missed(self):
+        model = DetectionProbabilityModel()
+        # 8 Kbps entry ≈ 0.67 pps at 0.1 % loss: hopeless (Figure 9a: 0).
+        assert model.detection_probability(0.67, 0.001, 30) < 0.05
+
+    def test_boundary_moves_with_loss_rate(self):
+        model = DetectionProbabilityModel()
+        need_at_10pct = model.minimum_entry_pps(0.10, horizon_s=30)
+        need_at_0p1pct = model.minimum_entry_pps(0.001, horizon_s=30)
+        assert need_at_0p1pct > 10 * need_at_10pct
+
+    def test_figure8_shape_fast_zooming_needs_more(self):
+        """Figure 8: 10 ms zooming needs larger entries than 200 ms."""
+        fast = DetectionProbabilityModel(session_s=0.010)
+        slow = DetectionProbabilityModel(session_s=0.200)
+        assert (fast.minimum_entry_pps(0.01, 30)
+                > slow.minimum_entry_pps(0.01, 30))
+
+    def test_minimum_pps_unreachable_returns_inf(self):
+        model = DetectionProbabilityModel(session_s=1.0, depth=5)
+        assert model.minimum_entry_pps(1e-12, horizon_s=4) == float("inf")

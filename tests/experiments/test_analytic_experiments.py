@@ -1,0 +1,91 @@
+"""Tests for the analytical experiment modules (table2, fig2, table4,
+table5, overhead) — cheap enough to verify end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2, overhead, table2, table4, table5
+
+
+class TestTable2:
+    def test_run_and_render(self):
+        result = table2.run()
+        text = table2.render(result)
+        assert "Loss Radar" in text
+        assert "memory size" in text
+
+    def test_first_cell_close_to_paper(self):
+        result = table2.run()
+        mem = result["100 Gbps / 32 ports"]["memory_ratio"][0.001]
+        assert mem == pytest.approx(0.21, abs=0.05)
+
+    def test_red_numbers_reproduced(self):
+        """By 1 % loss both switches exceed hardware on some metric."""
+        result = table2.run()
+        for switch in ("100 Gbps / 32 ports", "400 Gbps / 64 ports"):
+            data = result[switch]
+            assert max(data["memory_ratio"][0.01], data["read_ratio"][0.01]) > 1
+
+
+class TestFig2:
+    def test_curves_monotone(self):
+        result = fig2.run()
+        for curve in result["curves"].values():
+            values = list(curve.values())
+            assert values == sorted(values)
+
+    def test_isp_regime_not_operational(self):
+        result = fig2.run()
+        assert result["operational"][100e9][10e-3] is False
+
+    def test_dc_regime_operational(self):
+        result = fig2.run()
+        assert result["operational"][100e9][100e-6] is True
+
+    def test_simulated_confirmation_agrees(self):
+        sim_ok = fig2.simulate_operational(100e9, 100e-6)
+        sim_bad = fig2.simulate_operational(100e9, 10e-3)
+        assert sim_ok["operational"] is True
+        assert sim_bad["operational"] is False
+        assert sim_bad["visibility_loss"] > 0
+
+    def test_render(self):
+        assert "NetSeer" in fig2.render(fig2.run())
+
+
+class TestTable4:
+    def test_run_and_render(self):
+        text = table4.render(table4.run())
+        assert "switch.p4" in text
+        assert "367.7" in text  # 367.66 KB, the paper rounds to 367.6
+
+    def test_memory_section_complete(self):
+        memory = table4.run()["memory"]
+        assert memory["total (KB)"] == pytest.approx(367.6, abs=0.5)
+
+
+class TestTable5:
+    def test_four_rows(self):
+        result = table5.run(n_prefixes_cap=10_000)
+        assert len(result["rows"]) == 4
+
+    def test_render_contains_links(self):
+        text = table5.render(table5.run(n_prefixes_cap=10_000))
+        assert "caida-equinix-chicago.dirB" in text
+
+
+class TestOverhead:
+    def test_paper_anchors(self):
+        result = overhead.run()
+        assert result["dedicated_control"] == pytest.approx(0.00014, rel=0.15)
+        assert result["tree_control"] < 1e-5
+        assert result["tag"] == pytest.approx(2 / 1500)
+
+    def test_render(self):
+        assert "overhead" in overhead.render(overhead.run())
+
+    def test_faster_exchange_higher_overhead(self):
+        model = overhead.OverheadModel()
+        assert (model.dedicated_overhead(0.025)
+                > model.dedicated_overhead(0.100))

@@ -1,0 +1,34 @@
+"""Tests for the CLI entry point (cheap experiments only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table1", "table2", "fig2", "fig7", "fig8", "fig9a", "fig9b",
+            "uniform", "table3", "baselines", "overhead", "table4", "fig10",
+            "fig11", "table5",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_table2_via_cli(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Loss Radar" in out
+
+    def test_table4_via_cli(self, capsys):
+        assert main(["table4"]) == 0
+        assert "switch.p4" in capsys.readouterr().out
+
+    def test_overhead_via_cli(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

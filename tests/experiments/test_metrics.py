@@ -1,0 +1,61 @@
+"""Tests for the experiment metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import CellResult, RunResult, aggregate, median
+
+
+class TestRunResult:
+    def test_tpr(self):
+        run = RunResult(n_failed=4, n_detected=3)
+        assert run.tpr == 0.75
+
+    def test_tpr_with_no_failures_is_one(self):
+        assert RunResult(n_failed=0, n_detected=0).tpr == 1.0
+
+    def test_mean_detection_time_pads_undetected_with_horizon(self):
+        """The paper reports 30 s for undetected cells."""
+        run = RunResult(n_failed=2, n_detected=1, detection_times=[1.0],
+                        horizon_s=30.0)
+        assert run.mean_detection_time == pytest.approx((1.0 + 30.0) / 2)
+
+    def test_all_detected(self):
+        run = RunResult(n_failed=2, n_detected=2, detection_times=[1.0, 3.0])
+        assert run.mean_detection_time == 2.0
+
+
+class TestCellResult:
+    def test_averages_over_runs(self):
+        cell = aggregate([
+            RunResult(n_failed=1, n_detected=1, detection_times=[1.0]),
+            RunResult(n_failed=1, n_detected=0, horizon_s=10.0),
+        ])
+        assert cell.avg_tpr == 0.5
+        assert cell.avg_detection_time == pytest.approx((1.0 + 10.0) / 2)
+        assert cell.n_runs == 2
+
+    def test_false_positive_average(self):
+        cell = aggregate([
+            RunResult(1, 1, false_positives=2),
+            RunResult(1, 1, false_positives=0),
+        ])
+        assert cell.avg_false_positives == 1.0
+
+    def test_empty_cell(self):
+        cell = CellResult()
+        assert cell.avg_tpr == 0.0
+        assert cell.avg_detection_time == 0.0
+        assert cell.avg_false_positives == 0.0
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty(self):
+        assert median([]) is None

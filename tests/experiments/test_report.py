@@ -1,0 +1,69 @@
+"""Tests for the plain-text rendering helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    format_value,
+    render_heatmap,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_zero(self):
+        assert format_value(0) == "0"
+
+    def test_large_values_rounded(self):
+        assert format_value(123.456) == "123"
+
+    def test_small_values_keep_precision(self):
+        assert format_value(0.071, 2) == "0.071"
+
+
+class TestRenderHeatmap:
+    def test_grid_layout(self):
+        text = render_heatmap(
+            "title", ["row-a", "row-b"], ["c1", "c2"],
+            {(0, 0): 1.0, (0, 1): 0.5, (1, 0): 0.0, (1, 1): 0.25},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "row-a" in text and "row-b" in text
+        assert "c1" in text and "0.25" in text
+
+    def test_missing_cells_render_dash(self):
+        text = render_heatmap("t", ["r"], ["c1", "c2"], {(0, 0): 1.0})
+        assert "-" in text
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table("T", ["name", "value"], [["a", 1.5], ["bb", 2]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "bb" in text
+
+    def test_handles_mixed_types(self):
+        text = render_table("T", ["x"], [[None], [1.0], ["s"]])
+        assert "s" in text
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        text = render_series(
+            "S", {"a": [(0.0, 1.0), (1.0, 2.0)], "b": [(0.0, 3.0)]},
+            x_label="t",
+        )
+        lines = text.splitlines()
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 4  # title + header + 2 x values
+
+    def test_missing_points_dash(self):
+        text = render_series("S", {"a": [(0.0, 1.0)], "b": [(1.0, 2.0)]})
+        assert "-" in text

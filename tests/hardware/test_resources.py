@@ -1,0 +1,148 @@
+"""Tests for the Tofino resource model (Appendix B.2, Table 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.resources import (
+    RESOURCE_CLASSES,
+    SWITCH_P4,
+    TABLE4_CONFIGS,
+    ResourceShares,
+    dedicated_counter_memory_bits,
+    fsm_memory_bits,
+    hashtree_memory_bits,
+    rerouting_memory_bits,
+    resource_usage,
+    total_fancy_memory_bits,
+)
+from repro.hardware.tofino import TOFINO_32PORT, recirculations_for_tree_read
+
+
+class TestMemoryAccounting:
+    def test_fsm_memory_matches_paper(self):
+        """B.2: 96 bits × 512 FSMs × 32 ports = 192 KB."""
+        assert fsm_memory_bits() == 192 * 1024 * 8
+
+    def test_dedicated_memory_matches_paper(self):
+        """B.2: 64 bits × 512 entries × 32 ports = 128 KB."""
+        assert dedicated_counter_memory_bits() == 128 * 1024 * 8
+
+    def test_hashtree_memory_matches_paper(self):
+        """B.2: (12160 + 40) bits × 32 ports = 47.6 KB."""
+        assert hashtree_memory_bits() / 8 / 1024 == pytest.approx(47.66, abs=0.1)
+
+    def test_rerouting_memory_matches_paper(self):
+        """B.2: 2 KB of flags + 2 × 100 K Bloom cells ≈ 26.4 KB."""
+        assert rerouting_memory_bits() / 8 / 1024 == pytest.approx(26.4, abs=1.0)
+
+    def test_total_matches_paper(self):
+        """B.2: 367.6 KB, 394 KB with rerouting."""
+        assert total_fancy_memory_bits() / 8 / 1024 == pytest.approx(367.6, abs=0.5)
+        assert total_fancy_memory_bits(with_rerouting=True) / 8 / 1024 == pytest.approx(
+            394, abs=1.0
+        )
+
+    def test_memory_scales_with_entries(self):
+        assert dedicated_counter_memory_bits(1024) == 2 * dedicated_counter_memory_bits(512)
+
+    def test_total_fits_in_one_stage(self):
+        """FANcY's full state is tiny next to the switch's SRAM."""
+        assert total_fancy_memory_bits(with_rerouting=True) / 8 < (
+            TOFINO_32PORT.sram_per_stage_bytes
+        )
+
+
+class TestResourceShares:
+    def test_table4_columns_reproduced(self):
+        """The component model must compose back to Table 4 exactly."""
+        expected = {
+            "Dedicated Counters": (4.80, 16.66, 9.4, 1.4, 5.8, 1.8, 5.1),
+            "Full FANcY": (6.65, 27.08, 14.1, 2.1, 11.8, 3.10, 10.8),
+            "FANcY + Rerouting": (8.1, 33.33, 15.6, 2.1, 13.1, 3.10, 12.3),
+        }
+        for config, values in expected.items():
+            usage = resource_usage(config)
+            got = tuple(usage.as_dict()[k] for k in RESOURCE_CLASSES)
+            assert got == pytest.approx(values, abs=0.01), config
+
+    def test_fancy_modest_next_to_switch_p4_except_salus(self):
+        """Table 4's takeaway: FANcY under switch.p4 on every resource
+        class except stateful ALUs."""
+        usage = resource_usage("FANcY + Rerouting")
+        assert usage.dominated_by(SWITCH_P4, except_for=("Stateful ALU",))
+        assert usage.stateful_alu > SWITCH_P4.stateful_alu
+
+    def test_sram_grows_with_memory_budget(self):
+        """§6: SRAM is the only resource that grows with the budget."""
+        base = resource_usage("Full FANcY")
+        bigger = resource_usage("Full FANcY", memory_budget_bytes=5e6)
+        assert bigger.sram > base.sram
+        assert bigger.stateful_alu == base.stateful_alu
+
+    def test_small_budget_does_not_shrink_below_baseline(self):
+        base = resource_usage("Full FANcY")
+        tiny = resource_usage("Full FANcY", memory_budget_bytes=1)
+        assert tiny.sram == base.sram
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            resource_usage("nonexistent")
+
+    def test_shares_addition(self):
+        a = ResourceShares(1, 1, 1, 1, 1, 1, 1)
+        b = ResourceShares(2, 2, 2, 2, 2, 2, 2)
+        assert (a + b).sram == 3
+
+    def test_all_configs_defined(self):
+        assert set(TABLE4_CONFIGS) == {
+            "Dedicated Counters", "Full FANcY", "FANcY + Rerouting"
+        }
+
+
+class TestTofinoProfile:
+    def test_wedge_profile(self):
+        assert TOFINO_32PORT.n_ports == 32
+        assert TOFINO_32PORT.sram_per_stage_bytes == pytest.approx(13.5e6 / 12)
+
+    def test_recirculation_count(self):
+        """B.1: reading a node of width w takes w recirculated packets."""
+        assert recirculations_for_tree_read(190) == 190
+        with pytest.raises(ValueError):
+            recirculations_for_tree_read(0)
+
+
+class TestRecirculation:
+    """Appendix B.1: pipeline-pass accounting."""
+
+    def test_fsm_transitions_cost_two_passes(self):
+        from repro.hardware.recirculation import (
+            PASSES_PER_TRANSITION,
+            RecirculationModel,
+        )
+        assert PASSES_PER_TRANSITION == 2
+        model = RecirculationModel()
+        # 1 FSM pair at 50 ms sessions: 2 sides x 4 transitions x 2 passes
+        # x 20 sessions/s = 320 passes/s.
+        assert model.fsm_passes_per_second(1, 0.050) == pytest.approx(320)
+
+    def test_tree_read_costs_width_recirculations_per_side(self):
+        from repro.hardware.recirculation import RecirculationModel
+        model = RecirculationModel()
+        # width 190 at 200 ms: 2 x 190 x 5 = 1900 passes/s per port.
+        assert model.tree_read_passes_per_second(190, 0.200) == pytest.approx(1900)
+
+    def test_prototype_load_is_negligible(self):
+        """The full prototype configuration recirculates far below 1% of
+        the pipeline packet budget — deployability, quantified."""
+        from repro.hardware.recirculation import RecirculationModel
+        model = RecirculationModel()
+        fraction = model.pipeline_fraction()
+        assert 0 < fraction < 0.01
+
+    def test_load_scales_with_ports_and_width(self):
+        from repro.hardware.recirculation import RecirculationModel
+        model = RecirculationModel()
+        small = model.total_passes_per_second(tree_width=100, n_ports=16)
+        big = model.total_passes_per_second(tree_width=380, n_ports=64)
+        assert big > small

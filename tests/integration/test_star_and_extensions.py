@@ -1,0 +1,153 @@
+"""Integration tests: per-port monitoring on a star, intermittent
+failures, and the Figure 1 input-translation glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import FancyDeployment, LinkSpec
+from repro.core.detector import FancyConfig, FancyLinkMonitor
+from repro.core.entries import MonitoringInput
+from repro.core.memory import MemoryBudgetError
+from repro.core.output import FailureKind
+from repro.simulator.apps import FlowGenerator
+from repro.simulator.engine import Simulator
+from repro.simulator.failures import EntryLossFailure, IntermittentFailure
+from repro.simulator.topology import StarTopology, TwoSwitchTopology
+
+
+class TestStarTopology:
+    def _build(self, sim, n_peers=3, loss_models=None):
+        topo = StarTopology(sim, n_peers=n_peers, loss_models=loss_models)
+        entries = {}
+        for i in range(n_peers):
+            peer_entries = [f"peer{i}/e{j}" for j in range(2)]
+            topo.route_entries(i, peer_entries)
+            entries[i] = peer_entries
+            for j, entry in enumerate(peer_entries):
+                FlowGenerator(sim, topo.source, entry, rate_bps=1e6,
+                              flows_per_second=10, seed=i * 10 + j,
+                              flow_id_base=(i * 10 + j + 1) * 1_000_000).start()
+        return topo, entries
+
+    def test_traffic_reaches_correct_peer(self, sim):
+        topo, entries = self._build(sim)
+        sim.run(until=2.0)
+        for i, sink in enumerate(topo.sinks):
+            assert sink.packets_received > 0
+
+    def test_per_port_monitors_localize_to_the_right_port(self, sim):
+        """The hub monitors every port, like the paper's 64-port switch;
+        a failure on one port flags only that port's monitor."""
+        failure = EntryLossFailure({"peer1/e0"}, 0.5, start_time=1.0, seed=1)
+        topo, entries = self._build(sim, loss_models={1: failure})
+        links = [
+            LinkSpec(topo.hub, topo.hub_port(i), topo.peers[i], 1)
+            for i in range(topo.n_peers)
+        ]
+        deployment = FancyDeployment(
+            sim, links,
+            config=FancyConfig(
+                high_priority=[e for es in entries.values() for e in es],
+                tree_params=None,
+            ),
+        )
+        deployment.start()
+        sim.run(until=5.0)
+        flagged = deployment.localize("peer1/e0")
+        assert len(flagged) == 1
+        assert "hub:2" in flagged[0]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            StarTopology(sim, n_peers=0)
+        topo = StarTopology(sim, n_peers=2)
+        with pytest.raises(IndexError):
+            topo.hub_port(5)
+
+
+class TestIntermittentFailures:
+    def test_drops_only_in_on_windows(self):
+        inner = EntryLossFailure({"e"}, 1.0)
+        flaky = IntermittentFailure(inner, period_s=1.0, on_fraction=0.5)
+        from repro.simulator.packet import Packet, PacketKind
+
+        pkt = Packet(PacketKind.DATA, "e", 1500)
+        assert flaky(pkt, 0.2) is True      # on-window
+        assert flaky(pkt, 0.7) is False     # off-window
+        assert flaky(pkt, 1.3) is True      # next period
+
+    def test_validation(self):
+        inner = EntryLossFailure({"e"}, 1.0)
+        with pytest.raises(ValueError):
+            IntermittentFailure(inner, period_s=0, on_fraction=0.5)
+        with pytest.raises(ValueError):
+            IntermittentFailure(inner, period_s=1, on_fraction=0)
+
+    def test_fancy_detects_intermittent_failure(self, sim):
+        """§2.1's hardest case: a failure that appears intermittently is
+        still caught whenever an on-window overlaps counting sessions."""
+        inner = EntryLossFailure({"e"}, 1.0, seed=1)
+        flaky = IntermittentFailure(inner, period_s=1.0, on_fraction=0.3,
+                                    phase_s=1.0)
+        topo = TwoSwitchTopology(sim, loss_model=flaky)
+        monitor = FancyLinkMonitor(
+            sim, topo.upstream, 1, topo.downstream, 1,
+            FancyConfig(high_priority=["e"], tree_params=None),
+        )
+        FlowGenerator(sim, topo.source, "e", rate_bps=1e6, flows_per_second=10,
+                      seed=1).start()
+        monitor.start()
+        sim.run(until=6.0)
+        reports = monitor.log.by_kind(FailureKind.DEDICATED_ENTRY)
+        assert reports
+        # Reports cluster in on-windows: every report's session saw drops.
+        assert monitor.entry_is_flagged("e")
+
+
+class TestConfigFromMonitoringInput:
+    def test_figure1_contract_roundtrip(self):
+        spec = MonitoringInput(
+            high_priority=[f"hp{i}" for i in range(100)],
+            best_effort=[f"be{i}" for i in range(50)],
+            memory_bytes=20 * 1024,
+        )
+        config = FancyConfig.from_monitoring_input(spec, seed=7)
+        assert list(config.high_priority) == list(spec.high_priority)
+        assert config.tree_params is not None
+        assert config.tree_params.depth == 3 and config.tree_params.split == 2
+        assert config.seed == 7
+
+    def test_figure1_error_on_budget_overflow(self):
+        """Figure 1: 'The system returns an error, if the set of
+        high-priority entries cannot be supported with the memory
+        budget.'"""
+        spec = MonitoringInput(
+            high_priority=[f"hp{i}" for i in range(2000)],
+            memory_bytes=1024,
+        )
+        with pytest.raises(MemoryBudgetError):
+            FancyConfig.from_monitoring_input(spec)
+
+    def test_dedicated_only_input(self):
+        spec = MonitoringInput(high_priority=["a", "b"], memory_bytes=4096)
+        config = FancyConfig.from_monitoring_input(spec)
+        assert config.tree_params is None
+
+    def test_config_runs_end_to_end(self, sim):
+        spec = MonitoringInput(high_priority=["hp"], best_effort=["be"],
+                               memory_bytes=20 * 1024)
+        failure = EntryLossFailure({"be"}, 0.5, start_time=1.0, seed=1)
+        topo = TwoSwitchTopology(sim, loss_model=failure)
+        monitor = FancyLinkMonitor(
+            sim, topo.upstream, 1, topo.downstream, 1,
+            FancyConfig.from_monitoring_input(spec),
+        )
+        for i, entry in enumerate(("hp", "be")):
+            FlowGenerator(sim, topo.source, entry, rate_bps=1e6,
+                          flows_per_second=10, seed=i,
+                          flow_id_base=(i + 1) * 1_000_000).start()
+        monitor.start()
+        sim.run(until=5.0)
+        assert monitor.entry_is_flagged("be")
+        assert not monitor.entry_is_flagged("hp")

@@ -1,0 +1,130 @@
+"""Tests for the gray-failure models (the Table 1 failure classes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.failures import (
+    CompositeFailure,
+    ControlPlaneFailure,
+    EntryLossFailure,
+    PacketPropertyFailure,
+    UniformLossFailure,
+)
+from repro.simulator.packet import Packet, PacketKind
+
+
+def data(entry="e", size=1500, seq=0):
+    return Packet(PacketKind.DATA, entry, size, seq=seq)
+
+
+def control(kind=PacketKind.FANCY_START):
+    return Packet(kind, None, 64)
+
+
+class TestEntryLossFailure:
+    def test_drops_only_matching_entries(self):
+        f = EntryLossFailure({"bad"}, loss_rate=1.0)
+        assert f(data("bad"), 1.0) is True
+        assert f(data("good"), 1.0) is False
+
+    def test_blackhole_drops_everything_matching(self):
+        f = EntryLossFailure({"bad"}, loss_rate=1.0)
+        assert all(f(data("bad"), 0.0) for _ in range(50))
+
+    def test_partial_loss_rate_statistics(self):
+        f = EntryLossFailure({"bad"}, loss_rate=0.3, seed=1)
+        drops = sum(f(data("bad"), 0.0) for _ in range(10_000))
+        assert 0.25 < drops / 10_000 < 0.35
+
+    def test_inactive_before_start_time(self):
+        f = EntryLossFailure({"bad"}, loss_rate=1.0, start_time=5.0)
+        assert f(data("bad"), 4.999) is False
+        assert f(data("bad"), 5.0) is True
+
+    def test_inactive_after_end_time(self):
+        f = EntryLossFailure({"bad"}, loss_rate=1.0, start_time=1.0, end_time=2.0)
+        assert f(data("bad"), 1.5) is True
+        assert f(data("bad"), 2.0) is False
+
+    def test_control_messages_spared_by_default(self):
+        f = EntryLossFailure({"bad"}, loss_rate=1.0)
+        pkt = control()
+        pkt.entry = "bad"
+        assert f(pkt, 1.0) is False
+
+    def test_empty_entry_set_rejected(self):
+        with pytest.raises(ValueError):
+            EntryLossFailure([], loss_rate=1.0)
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            EntryLossFailure({"e"}, loss_rate=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = EntryLossFailure({"e"}, loss_rate=0.5, seed=7)
+        b = EntryLossFailure({"e"}, loss_rate=0.5, seed=7)
+        seq_a = [a(data(), 0.0) for _ in range(100)]
+        seq_b = [b(data(), 0.0) for _ in range(100)]
+        assert seq_a == seq_b
+
+    def test_drop_counter(self):
+        f = EntryLossFailure({"e"}, loss_rate=1.0)
+        for _ in range(5):
+            f(data(), 0.0)
+        assert f.drops == 5
+
+
+class TestUniformLossFailure:
+    def test_affects_all_entries(self):
+        f = UniformLossFailure(1.0)
+        assert f(data("a"), 0.0) and f(data("b"), 0.0)
+
+    def test_rate_statistics(self):
+        f = UniformLossFailure(0.1, seed=3)
+        drops = sum(f(data(), 0.0) for _ in range(20_000))
+        assert 0.08 < drops / 20_000 < 0.12
+
+
+class TestPacketPropertyFailure:
+    def test_size_specific_drops(self):
+        """Table 1: drops of packets 'with specific sizes'."""
+        f = PacketPropertyFailure(lambda p: p.size == 1500, loss_rate=1.0)
+        assert f(data(size=1500), 0.0) is True
+        assert f(data(size=64), 0.0) is False
+
+    def test_field_value_drops(self):
+        """Table 1: drops keyed on a header field value (IP ID 0xE000)."""
+        f = PacketPropertyFailure(lambda p: p.seq == 0xE000, loss_rate=1.0)
+        assert f(data(seq=0xE000), 0.0) is True
+        assert f(data(seq=1), 0.0) is False
+
+
+class TestControlPlaneFailure:
+    def test_drops_control_only(self):
+        f = ControlPlaneFailure(1.0)
+        assert f(control(), 0.0) is True
+        assert f(data(), 0.0) is False
+
+    def test_kind_filter(self):
+        f = ControlPlaneFailure(1.0, kinds={PacketKind.FANCY_REPORT})
+        assert f(control(PacketKind.FANCY_REPORT), 0.0) is True
+        assert f(control(PacketKind.FANCY_START), 0.0) is False
+
+
+class TestCompositeFailure:
+    def test_any_component_drops(self):
+        f = CompositeFailure([
+            EntryLossFailure({"a"}, 1.0),
+            EntryLossFailure({"b"}, 1.0),
+        ])
+        assert f(data("a"), 0.0) and f(data("b"), 0.0)
+        assert f(data("c"), 0.0) is False
+
+    def test_drop_total(self):
+        f = CompositeFailure([
+            EntryLossFailure({"a"}, 1.0),
+            UniformLossFailure(0.0),
+        ])
+        f(data("a"), 0.0)
+        assert f.drops == 1

@@ -1,0 +1,141 @@
+"""Tests for links: delay, serialization, loss injection, duplex wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link, connect_duplex
+from repro.simulator.packet import Packet, PacketKind
+from repro.simulator.switch import Node
+
+
+class Collector(Node):
+    """Minimal receiver recording (time, packet, port)."""
+
+    def __init__(self, sim, name="rx"):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, in_port):
+        self.received.append((self.sim.now, packet, in_port))
+
+
+def data(entry="e", size=1500, **kw):
+    return Packet(PacketKind.DATA, entry, size, **kw)
+
+
+class TestDelivery:
+    def test_packet_arrives_after_propagation_delay(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, dst_port=3, bandwidth_bps=None, delay_s=0.01)
+        link.send(data())
+        sim.run()
+        t, _pkt, port = rx.received[0]
+        assert t == pytest.approx(0.01)
+        assert port == 3
+
+    def test_serialization_delay_added(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=12_000, delay_s=0.0)  # 1500B = 1s
+        link.send(data(size=1500))
+        sim.run()
+        assert rx.received[0][0] == pytest.approx(1.0)
+
+    def test_back_to_back_packets_serialize(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=12_000, delay_s=0.0)
+        link.send(data(size=1500))
+        link.send(data(size=1500))
+        sim.run()
+        times = [t for t, _, _ in rx.received]
+        assert times == pytest.approx([1.0, 2.0])
+
+    def test_fifo_ordering_preserved(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=1e9, delay_s=0.005)
+        packets = [data(seq=i) for i in range(10)]
+        for p in packets:
+            link.send(p)
+        sim.run()
+        assert [p.seq for _, p, _ in rx.received] == list(range(10))
+
+    def test_infinite_bandwidth_no_serialization(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=None, delay_s=0.002)
+        link.send(data())
+        link.send(data())
+        sim.run()
+        assert all(t == pytest.approx(0.002) for t, _, _ in rx.received)
+
+    def test_queue_len_reflects_pending(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=12_000, delay_s=0.0)
+        for _ in range(5):
+            link.send(data())
+        # one is in transmission, four queued
+        assert link.queue_len == 4
+
+
+class TestLossInjection:
+    def test_loss_model_drops_packets(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=None, delay_s=0.001,
+                    loss_model=lambda p, now: True)
+        link.send(data())
+        sim.run()
+        assert rx.received == []
+        assert link.stats.dropped_failure == 1
+
+    def test_selective_loss_model(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=None, delay_s=0.001,
+                    loss_model=lambda p, now: p.entry == "bad")
+        link.send(data(entry="bad"))
+        link.send(data(entry="good"))
+        sim.run()
+        assert [p.entry for _, p, _ in rx.received] == ["good"]
+
+    def test_stats_count_tx_and_delivered(self, sim):
+        rx = Collector(sim)
+        link = Link(sim, rx, 0, bandwidth_bps=None, delay_s=0.001)
+        for _ in range(3):
+            link.send(data(size=100))
+        sim.run()
+        assert link.stats.tx_packets == 3
+        assert link.stats.tx_bytes == 300
+        assert link.stats.delivered == 3
+        assert link.stats.as_dict()["dropped_failure"] == 0
+
+    def test_loss_applied_after_serialization(self, sim):
+        """Drops happen on the wire: the link still spends tx time."""
+        rx = Collector(sim)
+        drops = []
+        link = Link(sim, rx, 0, bandwidth_bps=12_000, delay_s=0.0,
+                    loss_model=lambda p, now: drops.append(now) or True)
+        link.send(data(size=1500))
+        sim.run()
+        assert drops == [pytest.approx(1.0)]
+
+
+class TestDuplex:
+    def test_connect_duplex_wires_both_directions(self, sim):
+        a, b = Collector(sim, "a"), Collector(sim, "b")
+        ab, ba = connect_duplex(sim, a, 1, b, 2, bandwidth_bps=None, delay_s=0.001)
+        a.links[1].send(data(entry="to-b"))
+        b.links[2].send(data(entry="to-a"))
+        sim.run()
+        assert [p.entry for _, p, _ in b.received] == ["to-b"]
+        assert [p.entry for _, p, _ in a.received] == ["to-a"]
+        assert ab.stats.delivered == 1
+        assert ba.stats.delivered == 1
+
+    def test_duplex_loss_models_are_directional(self, sim):
+        a, b = Collector(sim, "a"), Collector(sim, "b")
+        connect_duplex(sim, a, 0, b, 0, bandwidth_bps=None, delay_s=0.001,
+                       loss_model_ab=lambda p, n: True)
+        a.links[0].send(data())
+        b.links[0].send(data())
+        sim.run()
+        assert b.received == []       # a->b dropped
+        assert len(a.received) == 1   # b->a fine

@@ -1,0 +1,67 @@
+"""Tests for the packet model."""
+
+from __future__ import annotations
+
+from repro.simulator.packet import (
+    FANCY_TAG_BYTES,
+    MIN_FRAME_BYTES,
+    Packet,
+    PacketKind,
+    make_data_packet,
+)
+
+
+class TestPacketKind:
+    def test_data_and_ack_are_not_control(self):
+        assert not PacketKind.DATA.is_control
+        assert not PacketKind.ACK.is_control
+
+    def test_fancy_messages_are_control(self):
+        for kind in (PacketKind.FANCY_START, PacketKind.FANCY_START_ACK,
+                     PacketKind.FANCY_STOP, PacketKind.FANCY_REPORT):
+            assert kind.is_control
+
+
+class TestPacket:
+    def test_unique_increasing_pids(self):
+        a = make_data_packet("e", 1500, 1, 0, 0.0)
+        b = make_data_packet("e", 1500, 1, 1, 0.0)
+        assert b.pid > a.pid
+
+    def test_untagged_by_default(self):
+        p = make_data_packet("e", 1500, 1, 0, 0.0)
+        assert not p.is_tagged
+        assert p.tag is None
+        assert p.tag_session == -1
+
+    def test_tagging_and_clearing(self):
+        p = make_data_packet("e", 1500, 1, 0, 0.0)
+        p.tag = (3, 1)
+        p.tag_session = 7
+        p.tag_dedicated = False
+        assert p.is_tagged
+        p.clear_tag()
+        assert not p.is_tagged
+        assert p.tag_session == -1
+        assert p.tag_dedicated is False
+
+    def test_constructor_fields(self):
+        p = Packet(PacketKind.ACK, "e", 64, flow_id=9, seq=3, ack=5,
+                   created_at=1.5, reverse=True)
+        assert p.kind is PacketKind.ACK
+        assert (p.flow_id, p.seq, p.ack) == (9, 3, 5)
+        assert p.created_at == 1.5
+        assert p.reverse is True
+
+    def test_wire_constants(self):
+        assert FANCY_TAG_BYTES == 2      # §5.3
+        assert MIN_FRAME_BYTES == 64     # §5.3
+
+    def test_payload_roundtrip(self):
+        p = Packet(PacketKind.FANCY_REPORT, None, 64,
+                   payload={"fsm": "x", "session": 3})
+        assert p.payload["session"] == 3
+
+    def test_repr_mentions_kind(self):
+        p = make_data_packet("e", 1500, 1, 0, 0.0)
+        assert "data" in repr(p)

@@ -1,0 +1,83 @@
+"""Tests for the evaluation topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.apps import FlowGenerator
+from repro.simulator.failures import EntryLossFailure
+from repro.simulator.topology import ChainTopology, TwoSwitchTopology
+
+
+class TestTwoSwitchTopology:
+    def test_forward_path_delivers(self, sim):
+        topo = TwoSwitchTopology(sim)
+        FlowGenerator(sim, topo.source, "e", rate_bps=1e6, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=2.0)
+        assert topo.sink.packets_received > 0
+
+    def test_closed_loop_acks_return(self, sim):
+        """Flows must complete, which requires ACKs to cross B->A->source."""
+        topo = TwoSwitchTopology(sim)
+        gen = FlowGenerator(sim, topo.source, "e", rate_bps=1e6,
+                            flows_per_second=5, seed=1)
+        gen.start()
+        sim.run(until=4.0)
+        assert gen.flows_started > len(gen.active_flows)
+
+    def test_failure_on_monitored_link(self, sim):
+        failure = EntryLossFailure({"e"}, 1.0, start_time=0.0)
+        topo = TwoSwitchTopology(sim, loss_model=failure)
+        FlowGenerator(sim, topo.source, "e", rate_bps=1e6, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=2.0)
+        assert topo.sink.packets_received == 0
+        assert topo.monitored_link.stats.dropped_failure > 0
+
+    def test_link_delay_configurable(self, sim):
+        topo = TwoSwitchTopology(sim, link_delay_s=0.05)
+        assert topo.monitored_link.delay_s == 0.05
+
+    def test_default_link_delay_is_10ms(self, sim):
+        """§5: 10 ms inter-switch delay in all experiments."""
+        assert TwoSwitchTopology(sim).monitored_link.delay_s == 0.010
+
+
+class TestChainTopology:
+    def test_traffic_crosses_whole_chain(self, sim):
+        topo = ChainTopology(sim, n_switches=4)
+        FlowGenerator(sim, topo.source, "e", rate_bps=1e6, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=2.0)
+        assert topo.sink.packets_received > 0
+
+    def test_closed_loop_over_chain(self, sim):
+        topo = ChainTopology(sim, n_switches=3)
+        gen = FlowGenerator(sim, topo.source, "e", rate_bps=1e6,
+                            flows_per_second=5, seed=1)
+        gen.start()
+        sim.run(until=4.0)
+        assert gen.flows_started > len(gen.active_flows)
+
+    def test_failure_at_inner_hop(self, sim):
+        failure = EntryLossFailure({"e"}, 1.0, start_time=0.0)
+        topo = ChainTopology(sim, n_switches=4, failure_hop=1, loss_model=failure)
+        FlowGenerator(sim, topo.source, "e", rate_bps=1e6, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=2.0)
+        assert topo.sink.packets_received == 0
+        assert topo.links[1].stats.dropped_failure > 0
+
+    def test_rejects_short_chain(self, sim):
+        with pytest.raises(ValueError):
+            ChainTopology(sim, n_switches=1)
+
+    def test_rejects_bad_failure_hop(self, sim):
+        with pytest.raises(ValueError):
+            ChainTopology(sim, n_switches=3, failure_hop=2)
+
+    def test_first_last_accessors(self, sim):
+        topo = ChainTopology(sim, n_switches=3)
+        assert topo.first is topo.switches[0]
+        assert topo.last is topo.switches[-1]

@@ -1,0 +1,105 @@
+"""Tests for the packet tracer."""
+
+from __future__ import annotations
+
+from repro.core.detector import FancyConfig, FancyLinkMonitor
+from repro.simulator.apps import FlowGenerator
+from repro.simulator.failures import EntryLossFailure
+from repro.simulator.packet import PacketKind
+from repro.simulator.topology import TwoSwitchTopology
+from repro.simulator.tracing import PacketTracer
+
+
+class TestPacketTracer:
+    def test_records_link_events(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "e", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=1.0)
+        summary = tracer.summary()
+        assert summary["tx"] > 0
+        assert summary["tx"] == summary["deliver"]
+
+    def test_records_drops(self, sim):
+        failure = EntryLossFailure({"e"}, 1.0, start_time=0.0)
+        topo = TwoSwitchTopology(sim, loss_model=failure)
+        tracer = PacketTracer(sim)
+        tracer.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "e", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=1.0)
+        assert tracer.summary().get("drop", 0) > 0
+        assert tracer.summary().get("deliver", 0) == 0
+
+    def test_predicate_filters(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim, predicate=lambda p: p.kind.is_control)
+        tracer.attach_link(topo.monitored_link)
+        monitor = FancyLinkMonitor(sim, topo.upstream, 1, topo.downstream, 1,
+                                   FancyConfig(high_priority=["e"],
+                                               tree_params=None))
+        FlowGenerator(sim, topo.source, "e", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        monitor.start()
+        sim.run(until=0.5)
+        assert len(tracer) > 0
+        assert all(ev.kind.startswith("fancy_") for ev in tracer.events)
+
+    def test_switch_ingress_recording(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach_switch(topo.downstream, ports=[1])
+        FlowGenerator(sim, topo.source, "e", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=1.0)
+        assert tracer.filter(event="ingress")
+
+    def test_packet_journey_ordered(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach_link(topo.monitored_link)
+        tracer.attach_switch(topo.downstream, ports=[1])
+        FlowGenerator(sim, topo.source, "e", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=1.0)
+        pid = tracer.events[0].pid
+        journey = tracer.packet_journey(pid)
+        times = [e.time for e in journey]
+        assert times == sorted(times)
+        assert [e.event for e in journey][:2] == ["tx", "deliver"]
+
+    def test_event_cap(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim, max_events=5)
+        tracer.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "e", rate_bps=2e6, flows_per_second=10,
+                      seed=1).start()
+        sim.run(until=1.0)
+        assert len(tracer) == 5
+        assert tracer.dropped_records > 0
+
+    def test_filter_queries(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "a", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        FlowGenerator(sim, topo.source, "b", rate_bps=500e3, flows_per_second=5,
+                      seed=2, flow_id_base=1_000_000).start()
+        sim.run(until=1.0)
+        only_a = tracer.filter(entry="a")
+        assert only_a and all(e.entry == "a" for e in only_a)
+        data_only = tracer.filter(kind=PacketKind.DATA)
+        assert data_only
+
+    def test_dump_format(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "e", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=0.5)
+        text = tracer.dump(limit=3)
+        assert "tx" in text or "deliver" in text

@@ -1,0 +1,64 @@
+"""Tests for the CBR UDP source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.udp import UdpSource
+
+
+class TestUdpSource:
+    def test_constant_rate(self, sim):
+        sent = []
+        src = UdpSource(sim, sent.append, "e", 1, rate_bps=1.2e6, packet_size=1500)
+        src.start()
+        sim.run(until=1.0)
+        # 1.2 Mbps / 12 kbit per packet = 100 pps.
+        assert len(sent) == pytest.approx(100, abs=2)
+
+    def test_sequential_seq_numbers(self, sim):
+        sent = []
+        src = UdpSource(sim, sent.append, "e", 1, rate_bps=1.2e6)
+        src.start()
+        sim.run(until=0.1)
+        assert [p.seq for p in sent] == list(range(len(sent)))
+
+    def test_stop_halts_emission(self, sim):
+        sent = []
+        src = UdpSource(sim, sent.append, "e", 1, rate_bps=1.2e6)
+        src.start()
+        sim.schedule(0.5, src.stop)
+        sim.run(until=1.0)
+        assert len(sent) == pytest.approx(50, abs=2)
+
+    def test_start_delay(self, sim):
+        sent = []
+        src = UdpSource(sim, lambda p: sent.append(sim.now), "e", 1, rate_bps=1.2e6)
+        src.start(delay=0.5)
+        sim.run(until=0.6)
+        assert sent and min(sent) >= 0.5
+
+    def test_jitter_perturbs_intervals_deterministically(self, sim):
+        sent_a = []
+        UdpSource(sim, lambda p: sent_a.append(sim.now), "e", 1,
+                  rate_bps=1.2e6, jitter=0.3, seed=9).start()
+        sim.run(until=0.5)
+        sim2 = type(sim)()
+        sent_b = []
+        UdpSource(sim2, lambda p: sent_b.append(sim2.now), "e", 1,
+                  rate_bps=1.2e6, jitter=0.3, seed=9).start()
+        sim2.run(until=0.5)
+        assert sent_a == sent_b
+        intervals = [b - a for a, b in zip(sent_a, sent_a[1:])]
+        assert len(set(round(i, 9) for i in intervals)) > 1
+
+    def test_rejects_nonpositive_rate(self, sim):
+        with pytest.raises(ValueError):
+            UdpSource(sim, lambda p: None, "e", 1, rate_bps=0)
+
+    def test_packet_fields(self, sim):
+        sent = []
+        UdpSource(sim, sent.append, "entry-x", 42, rate_bps=1.2e6).start()
+        sim.run(until=0.05)
+        assert sent[0].entry == "entry-x"
+        assert sent[0].flow_id == 42

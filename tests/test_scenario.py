@@ -1,0 +1,112 @@
+"""Tests for the declarative scenario builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.output import FailureKind
+from repro.scenario import Scenario
+
+
+class TestDeclaration:
+    def test_duplicate_entry_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario().entry("e").entry("e")
+
+    def test_empty_fail_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario().entry("e").fail()
+
+    def test_undeclared_failure_rejected(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            Scenario().entry("e").fail("ghost").run()
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError, match="no entries"):
+            Scenario().run()
+
+    def test_fluent_chaining_returns_self(self):
+        s = Scenario()
+        assert s.entry("e") is s
+        assert s.fail("e") is s
+        assert s.fail_uniformly(0.1) is s
+
+
+class TestExecution:
+    def test_dedicated_detection(self):
+        result = (
+            Scenario(duration_s=5, seed=1)
+            .entry("hp", rate_bps=1e6, flows_per_second=10, dedicated=True)
+            .entry("ok", rate_bps=1e6, flows_per_second=10, dedicated=True)
+            .fail("hp", loss_rate=0.5, at=1.0)
+            .run()
+        )
+        assert result.flagged("hp")
+        assert not result.flagged("ok")
+        dt = result.detection_time("hp")
+        assert dt is not None and dt < 1.0
+
+    def test_tree_detection(self):
+        result = (
+            Scenario(duration_s=8, seed=2)
+            .entry("be0", rate_bps=1e6, flows_per_second=10)
+            .entry("be1", rate_bps=1e6, flows_per_second=10)
+            .fail("be0", loss_rate=1.0, at=1.0)
+            .run()
+        )
+        assert result.flagged("be0")
+        assert not result.flagged("be1")
+        assert result.reports(FailureKind.TREE_LEAF)
+
+    def test_no_failure_no_reports(self):
+        result = (
+            Scenario(duration_s=4, seed=3)
+            .entry("e", dedicated=True)
+            .run()
+        )
+        assert result.reports() == []
+        assert result.detection_time("e") is None
+
+    def test_transient_failure_window(self):
+        result = (
+            Scenario(duration_s=8, seed=4)
+            .entry("e", rate_bps=1e6, flows_per_second=10, dedicated=True)
+            .fail("e", loss_rate=1.0, at=1.0, until=2.0)
+            .run()
+        )
+        reports = result.reports(FailureKind.DEDICATED_ENTRY)
+        assert reports
+        assert max(r.time for r in reports) < 3.0
+
+    def test_uniform_failure(self):
+        from repro.core.hashtree import HashTreeParams
+
+        scenario = Scenario(duration_s=5, seed=5,
+                            tree_params=HashTreeParams(width=8, depth=3, split=2))
+        for i in range(30):
+            scenario.entry(f"e{i}", rate_bps=800e3, flows_per_second=8)
+        result = scenario.fail_uniformly(0.5, at=1.5).run()
+        assert result.uniform_detected()
+
+    def test_udp_entries(self):
+        result = (
+            Scenario(duration_s=4, seed=6)
+            .entry("u", rate_bps=1e6, udp=True, dedicated=True)
+            .fail("u", loss_rate=0.5, at=1.0)
+            .run()
+        )
+        assert result.flagged("u")
+
+    def test_multiple_failures_tracked_separately(self):
+        result = (
+            Scenario(duration_s=8, seed=7)
+            .entry("a", rate_bps=1e6, flows_per_second=10, dedicated=True)
+            .entry("b", rate_bps=1e6, flows_per_second=10, dedicated=True)
+            .fail("a", loss_rate=1.0, at=1.0)
+            .fail("b", loss_rate=1.0, at=3.0)
+            .run()
+        )
+        ta, tb = result.detection_time("a"), result.detection_time("b")
+        assert ta is not None and tb is not None
+        # Onsets differ by 2 s; detection deltas are both ~one session.
+        assert abs(ta - tb) < 1.0

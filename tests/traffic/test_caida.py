@@ -1,0 +1,116 @@
+"""Tests for the CAIDA-like trace synthesizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic.caida import (
+    CAIDA_TRACES,
+    SyntheticCaidaTrace,
+    zipf_mandelbrot_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # Downscaled population for speed; shares are population-relative.
+    return SyntheticCaidaTrace(CAIDA_TRACES[0], seed=0, n_prefixes=50_000)
+
+
+class TestSpecs:
+    def test_four_traces_as_in_table5(self):
+        assert len(CAIDA_TRACES) == 4
+        assert [t.trace_id for t in CAIDA_TRACES] == [1, 2, 3, 4]
+
+    def test_published_statistics(self):
+        t1 = CAIDA_TRACES[0]
+        assert t1.bit_rate_bps == 6.25e9
+        assert t1.packet_rate_pps == 759.1e3
+        assert t1.flow_rate_fps == 28.3e3
+        assert t1.duration_s == 3719
+
+    def test_trace4_has_most_prefixes(self):
+        """Appendix D uses trace 4 because it has ≈560 K prefixes."""
+        assert CAIDA_TRACES[3].n_prefixes == max(t.n_prefixes for t in CAIDA_TRACES)
+
+    def test_mean_packet_size_plausible(self):
+        for t in CAIDA_TRACES:
+            assert 200 < t.mean_packet_size < 1500
+
+
+class TestHeavyTail:
+    def test_weights_normalized_and_decreasing(self):
+        w = zipf_mandelbrot_weights(1000)
+        assert sum(w) == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_calibration_anchors(self):
+        """§5.2 anchors: top-500 ≈60 % of bytes, top-10,000 ≥ 90 %."""
+        trace = SyntheticCaidaTrace(CAIDA_TRACES[0], n_prefixes=250_000)
+        assert 0.5 < trace.top_share(500) < 0.75
+        assert trace.top_share(10_000) > 0.90
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_mandelbrot_weights(0)
+
+
+class TestTrace:
+    def test_rates_sum_to_trace_rate(self, trace):
+        total = sum(trace.rate_of(i) for i in range(trace.n_prefixes))
+        assert total == pytest.approx(trace.spec.bit_rate_bps, rel=1e-6)
+
+    def test_top_prefixes_are_heaviest(self, trace):
+        top = trace.top_prefixes(10)
+        assert len(top) == 10
+        assert trace.rate_of(0) >= trace.rate_of(9)
+
+    def test_table5_row_fields(self, trace):
+        row = trace.table5_row()
+        assert row["trace_id"] == 1
+        assert row["bit_rate_gbps"] == pytest.approx(6.25)
+        assert 0 < row["top500_byte_share"] < 1
+
+
+class TestSlice:
+    def test_slice_respects_max_prefixes(self, trace):
+        sl = trace.slice(duration_s=30, max_prefixes=200, rate_scale=0.01)
+        assert len(sl.prefixes) <= 200
+
+    def test_slice_rates_scaled(self, trace):
+        full = trace.slice(duration_s=30, max_prefixes=100, rate_scale=1.0,
+                           jitter=0.0)
+        scaled = trace.slice(duration_s=30, max_prefixes=100, rate_scale=0.5,
+                             jitter=0.0)
+        assert scaled.total_rate_bps == pytest.approx(full.total_rate_bps * 0.5)
+
+    def test_slice_prefixes_sorted_by_rate(self, trace):
+        sl = trace.slice(max_prefixes=100, rate_scale=0.01)
+        rates = [sl.rates_bps[p] for p in sl.prefixes]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_min_rate_filter(self, trace):
+        sl = trace.slice(max_prefixes=5000, rate_scale=0.0001, min_rate_bps=1e3)
+        assert all(rate >= 1e3 for rate in sl.rates_bps.values())
+
+    def test_flow_rates_positive(self, trace):
+        sl = trace.slice(max_prefixes=100, rate_scale=0.01)
+        assert all(fps > 0 for fps in sl.flows_per_second.values())
+
+    def test_deterministic_given_same_args(self, trace):
+        a = trace.slice(start_s=100.0, max_prefixes=50, rate_scale=0.01)
+        b = trace.slice(start_s=100.0, max_prefixes=50, rate_scale=0.01)
+        assert a.rates_bps == b.rates_bps
+
+    def test_different_slices_differ(self, trace):
+        a = trace.slice(start_s=100.0, max_prefixes=50, rate_scale=0.01)
+        b = trace.slice(start_s=200.0, max_prefixes=50, rate_scale=0.01)
+        assert a.rates_bps != b.rates_bps
+
+    def test_top_helper(self, trace):
+        sl = trace.slice(max_prefixes=50, rate_scale=0.01)
+        assert sl.top(5) == list(sl.prefixes[:5])
+
+    def test_rejects_bad_duration(self, trace):
+        with pytest.raises(ValueError):
+            trace.slice(duration_s=0)

@@ -1,0 +1,63 @@
+"""Tests for prefix utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic.prefixes import PrefixSpace, prefix_str, random_slash24s
+
+
+class TestPrefixStr:
+    def test_formats_dotted_quad(self):
+        assert prefix_str(0x0A000000) == "10.0.0.0/24"
+        assert prefix_str(0xC0A80100, 16) == "192.168.1.0/16"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            prefix_str(2 ** 32)
+        with pytest.raises(ValueError):
+            prefix_str(-1)
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_always_four_octets(self, value):
+        text = prefix_str(value)
+        host, _, length = text.partition("/")
+        octets = host.split(".")
+        assert len(octets) == 4
+        assert all(0 <= int(o) <= 255 for o in octets)
+
+
+class TestRandomSlash24s:
+    def test_distinct_and_counted(self):
+        prefixes = random_slash24s(1000, seed=1)
+        assert len(prefixes) == 1000
+        assert len(set(prefixes)) == 1000
+
+    def test_deterministic_per_seed(self):
+        assert random_slash24s(50, seed=2) == random_slash24s(50, seed=2)
+        assert random_slash24s(50, seed=2) != random_slash24s(50, seed=3)
+
+    def test_all_are_slash24(self):
+        assert all(p.endswith("/24") for p in random_slash24s(20))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_slash24s(-1)
+
+
+class TestPrefixSpace:
+    def test_indexing_roundtrip(self):
+        space = PrefixSpace(100, seed=0)
+        assert space.index(space[17]) == 17
+        assert len(space) == 100
+
+    def test_sample_is_subset(self):
+        space = PrefixSpace(100, seed=0)
+        sample = space.sample(10, seed=1)
+        assert len(sample) == 10
+        assert set(sample) <= set(space.prefixes)
+
+    def test_iteration(self):
+        space = PrefixSpace(5, seed=0)
+        assert list(space) == list(space.prefixes)

@@ -1,0 +1,58 @@
+"""Tests for the §5.1 synthetic workload grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic.synthetic import (
+    ENTRY_SIZE_GRID,
+    ENTRY_SIZE_GRID_100,
+    LOSS_RATES,
+    EntrySize,
+)
+
+
+class TestGrid:
+    def test_grid_has_18_rows_like_figure7(self):
+        assert len(ENTRY_SIZE_GRID) == 18
+        assert len(ENTRY_SIZE_GRID_100) == 18
+
+    def test_extremes_match_paper(self):
+        assert ENTRY_SIZE_GRID[0] == EntrySize(500e6, 250)
+        assert ENTRY_SIZE_GRID[-1] == EntrySize(4e3, 1)
+        assert ENTRY_SIZE_GRID_100[0] == EntrySize(200e6, 200)
+
+    def test_rows_ordered_largest_first(self):
+        rates = [e.rate_bps for e in ENTRY_SIZE_GRID]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_loss_rates_span_paper_axis(self):
+        assert 1.0 in LOSS_RATES and 0.001 in LOSS_RATES
+        assert list(LOSS_RATES) == sorted(LOSS_RATES, reverse=True)
+
+
+class TestEntrySize:
+    def test_label(self):
+        assert EntrySize(500e6, 250).label == "500Mbps/250"
+        assert EntrySize(4e3, 1).label == "4Kbps/1"
+
+    def test_per_flow_rate(self):
+        assert EntrySize(1e6, 50).per_flow_bps == pytest.approx(20e3)
+
+    def test_packets_per_second(self):
+        assert EntrySize(1.2e6, 1).packets_per_second(1500) == pytest.approx(100)
+
+    def test_scaled_caps_rate(self):
+        big = EntrySize(500e6, 250)
+        capped = big.scaled(max_pps=100)
+        assert capped.packets_per_second() == pytest.approx(100)
+        assert capped.flows_per_second == 250  # flow structure preserved
+
+    def test_scaled_noop_below_cap(self):
+        small = EntrySize(4e3, 1)
+        assert small.scaled(max_pps=100) == small
+
+    def test_frozen(self):
+        e = EntrySize(1e6, 1)
+        with pytest.raises(Exception):
+            e.rate_bps = 2e6

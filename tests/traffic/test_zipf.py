@@ -1,0 +1,81 @@
+"""Tests for Zipf traffic distributions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic.zipf import (
+    assign_rates,
+    flows_for_rate,
+    sample_zipf_ranks,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert sum(zipf_weights(100)) == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        w = zipf_weights(50, alpha=1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_alpha_zero_is_uniform(self):
+        w = zipf_weights(10, alpha=0.0)
+        assert all(x == pytest.approx(0.1) for x in w)
+
+    def test_harmonic_ratios(self):
+        w = zipf_weights(10, alpha=1.0)
+        assert w[0] / w[1] == pytest.approx(2.0)
+        assert w[0] / w[4] == pytest.approx(5.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, alpha=-1)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.0, max_value=2.5, allow_nan=False))
+    def test_always_normalized(self, n, alpha):
+        assert sum(zipf_weights(n, alpha)) == pytest.approx(1.0)
+
+
+class TestAssignRates:
+    def test_total_preserved(self):
+        rates = assign_rates([f"e{i}" for i in range(20)], 10e6)
+        assert sum(rates.values()) == pytest.approx(10e6)
+
+    def test_rank_order(self):
+        rates = assign_rates(["first", "second", "third"], 1e6)
+        assert rates["first"] > rates["second"] > rates["third"]
+
+
+class TestSampleZipfRanks:
+    def test_in_range_and_counted(self):
+        ranks = sample_zipf_ranks(100, 500, seed=1)
+        assert len(ranks) == 500
+        assert all(0 <= r < 100 for r in ranks)
+
+    def test_low_ranks_dominate(self):
+        ranks = sample_zipf_ranks(1000, 5000, alpha=1.2, seed=2)
+        head = sum(1 for r in ranks if r < 10)
+        tail = sum(1 for r in ranks if r >= 500)
+        assert head > tail
+
+    def test_deterministic(self):
+        assert sample_zipf_ranks(50, 100, seed=4) == sample_zipf_ranks(50, 100, seed=4)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            sample_zipf_ranks(10, -1)
+
+
+class TestFlowsForRate:
+    def test_monotone_in_rate(self):
+        assert flows_for_rate(100e6) > flows_for_rate(1e6) > flows_for_rate(10e3)
+
+    def test_minimum_one(self):
+        assert flows_for_rate(1.0) >= 1
