@@ -1,0 +1,66 @@
+"""Benchmark: serial vs parallel runtime on the quick fig9a grid.
+
+Runs the same seeded quick-scale Figure 9a sweep serially and with
+``workers=4`` through the ``repro.runtime`` executor, asserts result
+equality (determinism) and writes a ``runtime_speedup.txt`` artifact
+with the wall times, the speedup, and the cached-re-run time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments import fig9
+from repro.runtime import RuntimeContext
+
+
+def test_runtime_speedup_fig9a(save_artifact, tmp_path):
+    workers = min(4, os.cpu_count() or 1)
+
+    t0 = time.monotonic()
+    serial = fig9.run_single(quick=True, seed=0)
+    serial_s = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    parallel = fig9.run_single(
+        quick=True, seed=0,
+        runtime=RuntimeContext(workers=workers, cache_dir=tmp_path / "cache"),
+    )
+    parallel_s = time.monotonic() - t0
+
+    # Determinism: parallel and serial sweeps of the same seed agree.
+    assert parallel["tpr"] == serial["tpr"]
+    assert parallel["latency"] == serial["latency"]
+
+    # Cached re-run: every cell is a hit.
+    t0 = time.monotonic()
+    cached = fig9.run_single(
+        quick=True, seed=0,
+        runtime=RuntimeContext(workers=workers, cache_dir=tmp_path / "cache"),
+    )
+    cached_s = time.monotonic() - t0
+    n_cells = len(parallel["tpr"])
+    assert cached["sweep"]["cache_hits"] == n_cells
+    assert cached["tpr"] == serial["tpr"]
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cache_speedup = serial_s / cached_s if cached_s > 0 else float("inf")
+    lines = [
+        "runtime speedup — quick fig9a grid "
+        f"({n_cells} cells, seed 0, {workers} workers)",
+        "",
+        f"  serial                : {serial_s:8.2f} s",
+        f"  --workers {workers}           : {parallel_s:8.2f} s   ({speedup:.2f}x)",
+        f"  cached re-run         : {cached_s:8.2f} s   ({cache_speedup:.0f}x, "
+        f"{cached['sweep']['cache_hits']}/{n_cells} cache hits)",
+        "",
+        "parallel == serial TPR/latency maps: verified",
+    ]
+    save_artifact("runtime_speedup", "\n".join(lines))
+
+    if workers > 1:
+        # Parallel must not be slower than serial by more than noise.
+        assert parallel_s < serial_s * 1.2
+    # The cached re-run skips every simulation: at least 5x faster.
+    assert cache_speedup > 5

@@ -3,6 +3,19 @@
 Runs one experiment (or ``all``) and prints the rendered table/figure.
 ``--full`` switches from the reduced default configuration to the
 paper-faithful sweep — expect long runtimes for the heatmaps.
+
+Sweep execution is governed by an explicit
+:class:`repro.runtime.RuntimeContext` built from the CLI flags and
+threaded through every experiment callable (no mutable globals):
+
+* ``--workers N`` runs independent sweep cells in N processes;
+* ``--cache-dir`` / ``--no-cache`` control the content-addressed result
+  cache (default ``.fancy-cache/``) that makes interrupted sweeps
+  resumable;
+* ``--seed`` reseeds the whole run;
+* ``--timeout`` / ``--retries`` bound each cell's wall time and how
+  often crashed cells are retried;
+* ``--run-log`` records machine-readable JSONL telemetry.
 """
 
 from __future__ import annotations
@@ -28,39 +41,45 @@ from .experiments import (
     table5,
     uniform,
 )
+from .runtime import DEFAULT_CACHE_DIR, RuntimeContext
 
-__all__ = ["main", "EXPERIMENTS"]
-
-
-_WORKERS: list = [None]
+__all__ = ["main", "EXPERIMENTS", "build_runtime"]
 
 
-def _fig9a(quick: bool) -> str:
-    return fig9.main(quick=quick, multi=False, workers=_WORKERS[0])
-
-
-def _fig9b(quick: bool) -> str:
-    return fig9.main(quick=quick, multi=True, workers=_WORKERS[0])
-
-
-#: experiment name -> callable(quick) -> rendered text.
-EXPERIMENTS: dict[str, Callable[[bool], str]] = {
-    "table1": lambda quick: table1.main(quick=quick),
-    "table2": lambda quick: table2.main(),
-    "fig2": lambda quick: fig2.main(),
-    "fig7": lambda quick: fig7.main(quick=quick, workers=_WORKERS[0]),
-    "fig8": lambda quick: fig8.main(quick=quick),
-    "fig9a": _fig9a,
-    "fig9b": _fig9b,
-    "uniform": lambda quick: uniform.main(quick=quick),
-    "table3": lambda quick: table3.main(quick=quick),
-    "baselines": lambda quick: baselines52.main(),
-    "overhead": lambda quick: overhead.main(),
-    "table4": lambda quick: table4.main(),
-    "fig10": lambda quick: fig10.main(quick=quick),
-    "fig11": lambda quick: fig11.main(quick=quick),
-    "table5": lambda quick: table5.main(),
+#: experiment name -> callable(quick, runtime) -> rendered text.  Every
+#: callable takes the runtime context explicitly; experiments that do not
+#: run sweeps simply ignore it.
+EXPERIMENTS: dict[str, Callable[[bool, RuntimeContext], str]] = {
+    "table1": lambda quick, runtime: table1.main(quick=quick),
+    "table2": lambda quick, runtime: table2.main(),
+    "fig2": lambda quick, runtime: fig2.main(),
+    "fig7": lambda quick, runtime: fig7.main(quick=quick, runtime=runtime),
+    "fig8": lambda quick, runtime: fig8.main(quick=quick),
+    "fig9a": lambda quick, runtime: fig9.main(quick=quick, multi=False, runtime=runtime),
+    "fig9b": lambda quick, runtime: fig9.main(quick=quick, multi=True, runtime=runtime),
+    "uniform": lambda quick, runtime: uniform.main(quick=quick, runtime=runtime),
+    "table3": lambda quick, runtime: table3.main(quick=quick, runtime=runtime),
+    "baselines": lambda quick, runtime: baselines52.main(),
+    "overhead": lambda quick, runtime: overhead.main(),
+    "table4": lambda quick, runtime: table4.main(),
+    "fig10": lambda quick, runtime: fig10.main(quick=quick, runtime=runtime),
+    "fig11": lambda quick, runtime: fig11.main(quick=quick, runtime=runtime),
+    "table5": lambda quick, runtime: table5.main(),
 }
+
+
+def build_runtime(args: argparse.Namespace) -> RuntimeContext:
+    """Build the explicit execution context from parsed CLI flags."""
+    cache_dir = None if args.no_cache else args.cache_dir
+    return RuntimeContext(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        seed=args.seed,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        run_log=args.run_log,
+        progress=not args.quiet,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -83,7 +102,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="run heatmap cells in N parallel processes (fig7/fig9)",
+        help="run independent sweep cells in N parallel processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help="content-addressed result cache; completed cells are skipped "
+             f"on re-runs (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (every cell recomputes)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base RNG seed for the sweeps (default: 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock timeout; wedged cells are killed and retried",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-submissions of a crashed/failed/timed-out cell (default: 1)",
+    )
+    parser.add_argument(
+        "--run-log",
+        metavar="FILE",
+        default=None,
+        help="append machine-readable JSONL sweep telemetry to FILE",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live stderr progress line",
     )
     parser.add_argument(
         "--out",
@@ -92,7 +155,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also write each rendered artifact to DIR/<experiment>.txt",
     )
     args = parser.parse_args(argv)
-    _WORKERS[0] = args.workers
+    runtime = build_runtime(args)
 
     out_dir = None
     if args.out is not None:
@@ -105,7 +168,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         started = time.time()
         print(f"=== {name} ===")
-        text = EXPERIMENTS[name](not args.full)
+        text = EXPERIMENTS[name](not args.full, runtime)
         if out_dir is not None and text:
             (out_dir / f"{name}.txt").write_text(text + "\n")
         print(f"--- {name} done in {time.time() - started:.1f}s ---\n")

@@ -22,6 +22,7 @@ from typing import Optional
 from ..apps.rerouting import FastRerouteApp
 from ..core.detector import FancyConfig, FancyLinkMonitor
 from ..core.hashtree import HashTreeParams
+from ..runtime import Job, RuntimeContext, fingerprint, resolve, run_sweep
 from ..simulator.apps import FlowGenerator, Host, ThroughputMeter
 from ..simulator.engine import Simulator
 from ..simulator.failures import EntryLossFailure
@@ -145,14 +146,32 @@ def run_case(loss_rate: float, entry_kind: str,
     return _build(config or Fig10Config(), loss_rate, entry_kind)
 
 
-def run(config: Optional[Fig10Config] = None, quick: bool = True) -> dict:
+def _case_worker(payload: tuple) -> dict:
+    """Top-level (picklable, cache-friendly) wrapper around run_case."""
+    loss_rate, entry_kind, config = payload
+    return _build(config, loss_rate, entry_kind)
+
+
+def run(config: Optional[Fig10Config] = None, quick: bool = True,
+        runtime: Optional[RuntimeContext] = None) -> dict:
     config = config or Fig10Config()
     loss_rates = config.loss_rates if not quick else config.loss_rates[-2:]
-    out: dict[str, dict] = {}
-    for entry_kind in ("dedicated", "tree"):
-        for loss in loss_rates:
-            out[f"{entry_kind}@{loss:g}"] = run_case(loss, entry_kind, config)
-    return {"cases": out, "config": config}
+    jobs = [
+        Job(
+            key=f"{entry_kind}@{loss:g}",
+            payload=(loss, entry_kind, config),
+            fingerprint=fingerprint("fig10", config, loss, entry_kind),
+            sim_s=config.duration_s,
+        )
+        for entry_kind in ("dedicated", "tree")
+        for loss in loss_rates
+    ]
+    sweep = run_sweep(jobs, _case_worker, runtime=resolve(runtime),
+                      label="fig10")
+    out: dict[str, dict] = {
+        job.key: sweep.results[job.key] for job in jobs if job.key in sweep.results
+    }
+    return {"cases": out, "config": config, "errors": sweep.errors}
 
 
 def render(result: dict) -> str:
@@ -176,7 +195,12 @@ def render(result: dict) -> str:
     return "\n".join(lines)
 
 
-def main(quick: bool = True) -> str:
-    text = render(run(quick=quick))
+def main(quick: bool = True, runtime: Optional[RuntimeContext] = None) -> str:
+    runtime = resolve(runtime)
+    config = Fig10Config()
+    if runtime.seed:
+        from dataclasses import replace
+        config = replace(config, seed=runtime.seed)
+    text = render(run(config=config, quick=quick, runtime=runtime))
     print(text)
     return text

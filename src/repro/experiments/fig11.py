@@ -22,6 +22,7 @@ from typing import Optional
 from ..core.detector import FancyConfig, FancyLinkMonitor
 from ..core.hashtree import HashTreeParams
 from ..core.analysis import tree_total_memory_bits
+from ..runtime import Job, RuntimeContext, fingerprint, resolve, run_sweep, stable_seed
 from ..simulator.apps import FlowGenerator
 from ..simulator.engine import Simulator
 from ..simulator.failures import EntryLossFailure
@@ -72,8 +73,8 @@ QUICK_CONFIG = Fig11Config(
 
 
 def run_once(params: HashTreeParams, burst: int, config: Fig11Config, rep: int) -> dict:
-    rng = random.Random((config.seed, params.width, params.depth, params.split,
-                         burst, rep).__repr__())
+    rng = random.Random(stable_seed(config.seed, params.width, params.depth,
+                                    params.split, burst, rep))
     sim = Simulator()
     entries = [f"p{i}" for i in range(config.n_prefixes)]
     rates = assign_rates(entries, config.total_rate_bps, alpha=1.0)
@@ -123,13 +124,36 @@ def run_once(params: HashTreeParams, burst: int, config: Fig11Config, rep: int) 
     }
 
 
-def run(config: Optional[Fig11Config] = None, quick: bool = True) -> dict:
+def _design_worker(payload: tuple) -> dict:
+    """Top-level (picklable, cache-friendly) wrapper around run_once."""
+    params, burst, config, rep = payload
+    return run_once(params, burst, config, rep)
+
+
+def run(config: Optional[Fig11Config] = None, quick: bool = True,
+        runtime: Optional[RuntimeContext] = None) -> dict:
     config = config or (QUICK_CONFIG if quick else Fig11Config())
+    jobs = [
+        Job(
+            key=(label, burst, rep),
+            payload=(params, burst, config, rep),
+            fingerprint=fingerprint("fig11", config, params, burst, rep),
+            sim_s=config.duration_s,
+        )
+        for params, label in config.designs
+        for burst in config.burst_sizes
+        for rep in range(config.repetitions)
+    ]
+    sweep = run_sweep(jobs, _design_worker, runtime=resolve(runtime),
+                      label="fig11")
     results: dict[tuple[str, int], dict] = {}
     for params, label in config.designs:
         for burst in config.burst_sizes:
-            runs = [run_once(params, burst, config, rep)
-                    for rep in range(config.repetitions)]
+            runs = [sweep.results[(label, burst, rep)]
+                    for rep in range(config.repetitions)
+                    if (label, burst, rep) in sweep.results]
+            if not runs:
+                continue
             medians = [r["median_detection"] for r in runs
                        if r["median_detection"] is not None]
             results[(label, burst)] = {
@@ -139,7 +163,7 @@ def run(config: Optional[Fig11Config] = None, quick: bool = True) -> dict:
                 "false_positives": sum(r["false_positives"] for r in runs) / len(runs),
                 "memory_kb": tree_total_memory_bits(params) / 8 / 1024,
             }
-    return {"results": results, "config": config}
+    return {"results": results, "config": config, "errors": sweep.errors}
 
 
 def render(result: dict) -> str:
@@ -162,7 +186,12 @@ def render(result: dict) -> str:
     )
 
 
-def main(quick: bool = True) -> str:
-    text = render(run(quick=quick))
+def main(quick: bool = True, runtime: Optional[RuntimeContext] = None) -> str:
+    runtime = resolve(runtime)
+    config = QUICK_CONFIG if quick else Fig11Config()
+    if runtime.seed:
+        from dataclasses import replace
+        config = replace(config, seed=runtime.seed)
+    text = render(run(config=config, quick=quick, runtime=runtime))
     print(text)
     return text

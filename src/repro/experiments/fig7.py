@@ -16,22 +16,27 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..runtime import RuntimeContext, resolve
 from .heatmaps import PAPER_SCALE, QUICK_SCALE, HeatmapScale, render_heatmap_pair, run_heatmap
 
 __all__ = ["run", "render", "main"]
 
 
 def run(scale: Optional[HeatmapScale] = None, quick: bool = True, seed: int = 0,
-        workers: Optional[int] = None) -> dict:
+        workers: Optional[int] = None,
+        runtime: Optional[RuntimeContext] = None) -> dict:
     scale = scale or (QUICK_SCALE if quick else PAPER_SCALE)
-    return run_heatmap("dedicated", scale, seed=seed, workers=workers)
+    return run_heatmap("dedicated", scale, seed=seed, workers=workers,
+                       runtime=runtime)
 
 
 def render(result: dict) -> str:
     return render_heatmap_pair("Figure 7 — dedicated counters", result)
 
 
-def main(quick: bool = True, workers: Optional[int] = None) -> str:
-    text = render(run(quick=quick, workers=workers))
+def main(quick: bool = True, workers: Optional[int] = None,
+         runtime: Optional[RuntimeContext] = None) -> str:
+    runtime = resolve(runtime, workers=workers)
+    text = render(run(quick=quick, seed=runtime.seed, runtime=runtime))
     print(text)
     return text

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
+from ..runtime import RuntimeContext, resolve
 from ..traffic.synthetic import ENTRY_SIZE_GRID_100
 from .heatmaps import PAPER_SCALE, QUICK_SCALE, HeatmapScale, render_heatmap_pair, run_heatmap
 
@@ -39,15 +40,19 @@ PAPER_SCALE_MULTI = replace(PAPER_SCALE, rows=ENTRY_SIZE_GRID_100, n_failed=100)
 
 
 def run_single(scale: Optional[HeatmapScale] = None, quick: bool = True, seed: int = 0,
-               workers: Optional[int] = None) -> dict:
+               workers: Optional[int] = None,
+               runtime: Optional[RuntimeContext] = None) -> dict:
     scale = scale or (QUICK_SCALE if quick else PAPER_SCALE)
-    return run_heatmap("tree", scale, seed=seed, n_failed=1, workers=workers)
+    return run_heatmap("tree", scale, seed=seed, n_failed=1, workers=workers,
+                       runtime=runtime)
 
 
 def run_multi(scale: Optional[HeatmapScale] = None, quick: bool = True, seed: int = 0,
-              workers: Optional[int] = None) -> dict:
+              workers: Optional[int] = None,
+              runtime: Optional[RuntimeContext] = None) -> dict:
     scale = scale or (QUICK_SCALE_MULTI if quick else PAPER_SCALE_MULTI)
-    return run_heatmap("tree", scale, seed=seed, workers=workers)
+    return run_heatmap("tree", scale, seed=seed, workers=workers,
+                       runtime=runtime)
 
 
 def render(result: dict) -> str:
@@ -57,9 +62,11 @@ def render(result: dict) -> str:
 
 
 def main(quick: bool = True, multi: bool = False,
-         workers: Optional[int] = None) -> str:
-    result = (run_multi(quick=quick, workers=workers) if multi
-              else run_single(quick=quick, workers=workers))
+         workers: Optional[int] = None,
+         runtime: Optional[RuntimeContext] = None) -> str:
+    runtime = resolve(runtime, workers=workers)
+    result = (run_multi(quick=quick, seed=runtime.seed, runtime=runtime) if multi
+              else run_single(quick=quick, seed=runtime.seed, runtime=runtime))
     text = render(result)
     print(text)
     return text

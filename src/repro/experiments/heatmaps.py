@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..runtime import RuntimeContext, resolve, run_sweep, spec_job
 from ..traffic.synthetic import ENTRY_SIZE_GRID, LOSS_RATES, EntrySize
 from .metrics import CellResult
 from .report import render_heatmap
@@ -57,23 +58,33 @@ PAPER_SCALE = HeatmapScale(
 )
 
 
-def _cell_task(args: tuple) -> tuple[tuple[int, int], CellResult]:
-    """Top-level cell runner (picklable for the process pool)."""
-    key, spec, repetitions = args
-    return key, run_cell(spec, repetitions=repetitions)
+def _cell_worker(payload: tuple) -> dict:
+    """Top-level cell runner (picklable for the process pool).
+
+    Takes ``(spec, repetitions)``, returns a JSON-serializable dict so
+    the runtime can cache it.
+    """
+    spec, repetitions = payload
+    return run_cell(spec, repetitions=repetitions).to_dict()
 
 
 def run_heatmap(mode: str, scale: HeatmapScale, seed: int = 0,
                 n_failed: Optional[int] = None,
-                workers: Optional[int] = None) -> dict:
+                workers: Optional[int] = None,
+                runtime: Optional[RuntimeContext] = None) -> dict:
     """Sweep the grid; returns row/col labels plus TPR and latency maps.
 
-    ``workers`` > 1 runs cells in parallel processes — the intended way to
-    run the paper-faithful ``PAPER_SCALE`` sweeps, whose cells are
-    independent simulations.
+    Execution goes through :func:`repro.runtime.run_sweep`: cells stream
+    in as they complete, finished cells are cached (when the runtime has
+    a cache dir), crashed cells are retried and — if they keep failing —
+    reported under ``result["errors"]`` without losing the rest of the
+    grid.  ``workers`` > 1 runs cells in parallel processes — the
+    intended way to run the paper-faithful ``PAPER_SCALE`` sweeps, whose
+    cells are independent simulations.
     """
+    runtime = resolve(runtime, workers=workers)
     failed = n_failed if n_failed is not None else scale.n_failed
-    tasks = []
+    jobs = []
     for i, entry_size in enumerate(scale.rows):
         for j, loss_rate in enumerate(scale.loss_rates):
             spec = ExperimentSpec(
@@ -86,19 +97,16 @@ def run_heatmap(mode: str, scale: HeatmapScale, seed: int = 0,
                 max_pps_per_entry=scale.max_pps_per_entry,
                 seed=seed + i * 101 + j,
             )
-            tasks.append(((i, j), spec, scale.repetitions))
+            jobs.append(spec_job(
+                (i, j), spec, scale.repetitions,
+                sim_s=scale.duration_s * scale.repetitions,
+            ))
 
-    cells: dict[tuple[int, int], CellResult] = {}
-    if workers is not None and workers > 1:
-        import concurrent.futures
-
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            for key, cell in pool.map(_cell_task, tasks):
-                cells[key] = cell
-    else:
-        for task in tasks:
-            key, cell = _cell_task(task)
-            cells[key] = cell
+    sweep = run_sweep(jobs, _cell_worker, runtime=runtime,
+                      label=f"heatmap:{mode}")
+    cells: dict[tuple[int, int], CellResult] = {
+        key: CellResult.from_dict(value) for key, value in sweep.results.items()
+    }
 
     tpr = {key: cell.avg_tpr for key, cell in cells.items()}
     latency = {key: cell.avg_detection_time for key, cell in cells.items()}
@@ -110,6 +118,8 @@ def run_heatmap(mode: str, scale: HeatmapScale, seed: int = 0,
         "cells": cells,
         "mode": mode,
         "n_failed": failed,
+        "errors": sweep.errors,
+        "sweep": sweep.summary,
     }
 
 

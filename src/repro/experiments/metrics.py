@@ -42,6 +42,28 @@ class RunResult:
         padded += [self.horizon_s] * (self.n_failed - len(padded))
         return sum(padded) / self.n_failed
 
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering (used by the runtime result cache)."""
+        return {
+            "n_failed": self.n_failed,
+            "n_detected": self.n_detected,
+            "detection_times": list(self.detection_times),
+            "false_positives": self.false_positives,
+            "horizon_s": self.horizon_s,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            n_failed=data["n_failed"],
+            n_detected=data["n_detected"],
+            detection_times=list(data.get("detection_times", [])),
+            false_positives=data.get("false_positives", 0),
+            horizon_s=data.get("horizon_s", 30.0),
+            extra=dict(data.get("extra", {})),
+        )
+
 
 @dataclass
 class CellResult:
@@ -73,6 +95,14 @@ class CellResult:
     @property
     def n_runs(self) -> int:
         return len(self.runs)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering (used by the runtime result cache)."""
+        return {"runs": [run.to_dict() for run in self.runs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        return cls(runs=[RunResult.from_dict(r) for r in data.get("runs", [])])
 
 
 def aggregate(runs: Sequence[RunResult]) -> CellResult:

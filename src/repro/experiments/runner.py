@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from ..core.detector import FancyConfig, FancyLinkMonitor
 from ..core.hashtree import HashTreeParams
 from ..core.output import FailureKind
+from ..runtime.jobs import stable_seed
 from ..simulator.apps import FlowGenerator
 from ..simulator.engine import Simulator
 from ..simulator.failures import EntryLossFailure, UniformLossFailure
@@ -92,8 +93,14 @@ class ExperimentSpec:
 
 
 def run_entry_failure(spec: ExperimentSpec, rep: int = 0) -> RunResult:
-    """One repetition of an entry-failure experiment."""
-    rng = random.Random((spec.seed, rep, "setup").__repr__())
+    """One repetition of an entry-failure experiment.
+
+    The setup RNG is seeded with an explicit hashlib derivation over
+    ``(seed, rep, "setup")`` (see :func:`repro.runtime.jobs.stable_seed`)
+    so repetitions are reproducible across processes and Python versions
+    — a requirement for the parallel runtime's cache correctness.
+    """
+    rng = random.Random(stable_seed(spec.seed, rep, "setup"))
     sim = Simulator()
 
     failed = [f"failed/{i}" for i in range(spec.n_failed)]

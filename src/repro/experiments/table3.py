@@ -27,6 +27,7 @@ from typing import Optional
 from ..core.detector import FancyConfig, FancyLinkMonitor
 from ..core.hashtree import HashTreeParams
 from ..core.output import FailureKind
+from ..runtime import Job, RuntimeContext, fingerprint, resolve, run_sweep, stable_seed
 from ..simulator.apps import FlowGenerator
 from ..simulator.engine import Simulator
 from ..simulator.failures import EntryLossFailure
@@ -94,7 +95,7 @@ def run_one_failure(
     rep: int = 0,
 ) -> dict:
     """Replay the slice with one prefix failing; score the detection."""
-    rng = random.Random((config.seed, failed_prefix, loss_rate, rep).__repr__())
+    rng = random.Random(stable_seed(config.seed, failed_prefix, loss_rate, rep))
     sim = Simulator()
     failure_time = rng.uniform(0.5, 2.0)
     failure = EntryLossFailure(
@@ -143,14 +144,33 @@ def run_one_failure(
     }
 
 
-def run(config: Optional[Table3Config] = None, quick: bool = True) -> dict:
+#: Per-process memo of rebuilt trace slices (worker processes rebuild the
+#: deterministic slice once per (trace, config) instead of pickling it).
+_SLICE_MEMO: dict = {}
+
+
+def _rebuild_slice(trace_index: int, config: Table3Config):
+    key = (trace_index, fingerprint(config))
+    if key not in _SLICE_MEMO:
+        _SLICE_MEMO[key] = build_slice(trace_index, config)
+    return _SLICE_MEMO[key]
+
+
+def _failure_worker(payload: tuple) -> dict:
+    """Top-level (picklable, cache-friendly) wrapper around run_one_failure."""
+    trace_index, prefix, loss_rate, config, rep = payload
+    trace, sl = _rebuild_slice(trace_index, config)
+    return run_one_failure(prefix, loss_rate, trace, sl, config, rep)
+
+
+def run(config: Optional[Table3Config] = None, quick: bool = True,
+        runtime: Optional[RuntimeContext] = None) -> dict:
     config = config or (QUICK_CONFIG if quick else Table3Config())
-    rows: dict[float, dict] = {}
+    jobs: list[Job] = []
     for loss_rate in config.loss_rates:
-        outcomes: list[dict] = []
         for trace_index in config.trace_indices:
-            trace, sl = build_slice(trace_index, config)
-            rng = random.Random((config.seed, trace_index, loss_rate).__repr__())
+            trace, sl = _rebuild_slice(trace_index, config)
+            rng = random.Random(stable_seed(config.seed, trace_index, loss_rate))
             pool = list(sl.prefixes[: config.failure_pool])
             dedicated = set(trace.top_prefixes(config.n_dedicated))
             # Stratified sample so both columns (dedicated / tree) have
@@ -162,11 +182,22 @@ def run(config: Optional[Table3Config] = None, quick: bool = True) -> dict:
             sample = rng.sample(ded_pool, n_ded) + rng.sample(tree_pool, n_tree)
             for prefix in sample:
                 for rep in range(config.repetitions):
-                    outcomes.append(
-                        run_one_failure(prefix, loss_rate, trace, sl, config, rep)
-                    )
+                    jobs.append(Job(
+                        key=(loss_rate, trace_index, prefix, rep),
+                        payload=(trace_index, prefix, loss_rate, config, rep),
+                        fingerprint=fingerprint(
+                            "table3", config, trace_index, prefix, loss_rate, rep
+                        ),
+                        sim_s=config.duration_s,
+                    ))
+    sweep = run_sweep(jobs, _failure_worker, runtime=resolve(runtime),
+                      label="table3")
+    rows: dict[float, dict] = {}
+    for loss_rate in config.loss_rates:
+        outcomes = [sweep.results[job.key] for job in jobs
+                    if job.key[0] == loss_rate and job.key in sweep.results]
         rows[loss_rate] = _aggregate(outcomes)
-    return {"rows": rows, "config": config}
+    return {"rows": rows, "config": config, "errors": sweep.errors}
 
 
 def _aggregate(outcomes: list[dict]) -> dict:
@@ -219,7 +250,12 @@ def _pct(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:.1%}"
 
 
-def main(quick: bool = True) -> str:
-    text = render(run(quick=quick))
+def main(quick: bool = True, runtime: Optional[RuntimeContext] = None) -> str:
+    runtime = resolve(runtime)
+    config = QUICK_CONFIG if quick else Table3Config()
+    if runtime.seed:
+        from dataclasses import replace
+        config = replace(config, seed=runtime.seed)
+    text = render(run(config=config, quick=quick, runtime=runtime))
     print(text)
     return text

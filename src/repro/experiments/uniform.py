@@ -17,6 +17,7 @@ from typing import Optional
 from ..core.detector import FancyConfig, FancyLinkMonitor
 from ..core.hashtree import HashTreeParams
 from ..core.output import FailureKind
+from ..runtime import Job, RuntimeContext, fingerprint, resolve, run_sweep, stable_seed
 from ..simulator.apps import FlowGenerator
 from ..simulator.engine import Simulator
 from ..simulator.failures import UniformLossFailure
@@ -59,7 +60,7 @@ QUICK_CONFIG = UniformConfig(
 
 
 def run_once(loss_rate: float, config: UniformConfig, rep: int) -> dict:
-    rng = random.Random((config.seed, rep, loss_rate).__repr__())
+    rng = random.Random(stable_seed(config.seed, rep, loss_rate))
     sim = Simulator()
     failure = UniformLossFailure(
         loss_rate, start_time=config.failure_time_s, seed=rng.randrange(2 ** 31)
@@ -92,11 +93,33 @@ def run_once(loss_rate: float, config: UniformConfig, rep: int) -> dict:
     }
 
 
-def run(config: Optional[UniformConfig] = None, quick: bool = True) -> dict:
+def _uniform_worker(payload: tuple) -> dict:
+    """Top-level (picklable, cache-friendly) wrapper around run_once."""
+    loss_rate, config, rep = payload
+    return run_once(loss_rate, config, rep)
+
+
+def run(config: Optional[UniformConfig] = None, quick: bool = True,
+        runtime: Optional[RuntimeContext] = None) -> dict:
     config = config or (QUICK_CONFIG if quick else UniformConfig())
+    jobs = [
+        Job(
+            key=(loss, rep),
+            payload=(loss, config, rep),
+            fingerprint=fingerprint("uniform", config, loss, rep),
+            sim_s=config.duration_s,
+        )
+        for loss in config.loss_rates
+        for rep in range(config.repetitions)
+    ]
+    sweep = run_sweep(jobs, _uniform_worker, runtime=resolve(runtime),
+                      label="uniform")
     rows = {}
     for loss in config.loss_rates:
-        runs = [run_once(loss, config, rep) for rep in range(config.repetitions)]
+        runs = [sweep.results[(loss, rep)] for rep in range(config.repetitions)
+                if (loss, rep) in sweep.results]
+        if not runs:
+            continue
         detected = [r for r in runs if r["detected"]]
         times = [r["detection_time"] for r in detected]
         rows[loss] = {
@@ -104,7 +127,7 @@ def run(config: Optional[UniformConfig] = None, quick: bool = True) -> dict:
             "avg_detection_time": sum(times) / len(times) if times else None,
             "runs": runs,
         }
-    return {"rows": rows, "config": config}
+    return {"rows": rows, "config": config, "errors": sweep.errors}
 
 
 def render(result: dict) -> str:
@@ -125,7 +148,12 @@ def render(result: dict) -> str:
     )
 
 
-def main(quick: bool = True) -> str:
-    text = render(run(quick=quick))
+def main(quick: bool = True, runtime: Optional[RuntimeContext] = None) -> str:
+    runtime = resolve(runtime)
+    config = QUICK_CONFIG if quick else UniformConfig()
+    if runtime.seed:
+        from dataclasses import replace
+        config = replace(config, seed=runtime.seed)
+    text = render(run(config=config, quick=quick, runtime=runtime))
     print(text)
     return text

@@ -1,0 +1,212 @@
+"""Structured sweep telemetry: live stderr progress + JSONL run log.
+
+Two consumers, one event stream:
+
+* a human watching the terminal gets a single live-updating stderr line
+  with completed/total cells, cells/s, simulated-seconds per
+  wall-second, cache hits, failures, and an ETA;
+* tooling gets a machine-readable JSONL run log (one event object per
+  line) with the schema documented in ``docs/RUNTIME.md``:
+
+  - ``{"event": "sweep_start", "label", "total", "workers", "ts"}``
+  - ``{"event": "cell_done", "key", "cached", "wall_s", "sim_s", "attempts", "ts"}``
+  - ``{"event": "cell_failed", "key", "kind", "error", "attempts", "ts"}``
+  - ``{"event": "sweep_end", "label", "completed", "failed",
+     "cache_hits", "cache_misses", "wall_s", "cells_per_s",
+     "sim_s_per_wall_s", "ts"}``
+
+Keys are JSON-rendered as lists (tuples don't exist in JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, IO, Optional, Union
+
+__all__ = ["RunLog", "ProgressReporter"]
+
+
+def _jsonable_key(key: Any) -> Any:
+    if isinstance(key, tuple):
+        return [_jsonable_key(k) for k in key]
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    return str(key)
+
+
+class RunLog:
+    """Append-only JSONL event log; each event is flushed immediately."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = self.path.open("a", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        if self._fh is None:
+            return
+        json.dump(event, self._fh)
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ProgressReporter:
+    """Tracks sweep progress; renders stderr lines and JSONL events.
+
+    All methods are cheap and exception-safe; telemetry must never take
+    down a sweep.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        *,
+        live: bool = False,
+        log: Optional[RunLog] = None,
+        stream: Optional[IO[str]] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.live = live
+        self.log = log
+        self.stream = stream if stream is not None else sys.stderr
+        self.workers = workers
+        self.completed = 0
+        self.failed = 0
+        self.cached = 0
+        self.sim_s = 0.0
+        self.cell_wall_s = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ events
+
+    def sweep_started(self) -> None:
+        self.started_at = time.monotonic()
+        self._emit({
+            "event": "sweep_start",
+            "label": self.label,
+            "total": self.total,
+            "workers": self.workers,
+            "ts": time.time(),
+        })
+
+    def cell_done(self, key: Any, *, wall_s: float = 0.0, cached: bool = False,
+                  sim_s: Optional[float] = None, attempts: int = 1) -> None:
+        self.completed += 1
+        if cached:
+            self.cached += 1
+        else:
+            self.cell_wall_s += wall_s
+            if sim_s:
+                self.sim_s += sim_s
+        self._emit({
+            "event": "cell_done",
+            "key": _jsonable_key(key),
+            "cached": cached,
+            "wall_s": round(wall_s, 6),
+            "sim_s": sim_s,
+            "attempts": attempts,
+            "ts": time.time(),
+        })
+        self._render_line()
+
+    def cell_failed(self, key: Any, *, kind: str, error: str, attempts: int) -> None:
+        self.failed += 1
+        self._emit({
+            "event": "cell_failed",
+            "key": _jsonable_key(key),
+            "kind": kind,
+            "error": error,
+            "attempts": attempts,
+            "ts": time.time(),
+        })
+        self._render_line()
+
+    def sweep_finished(self) -> dict:
+        """Emit the closing event; returns the summary dict."""
+        self.finished_at = time.monotonic()
+        wall = self.wall_s
+        summary = {
+            "event": "sweep_end",
+            "label": self.label,
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cached,
+            "cache_misses": self.completed - self.cached,
+            "wall_s": round(wall, 3),
+            "cells_per_s": round(self.completed / wall, 3) if wall > 0 else None,
+            "sim_s_per_wall_s": round(self.sim_s / wall, 3) if wall > 0 and self.sim_s else None,
+            "ts": time.time(),
+        }
+        self._emit(summary)
+        if self.live:
+            self._write("\r" + self.summary_line() + "\n")
+        return summary
+
+    # ------------------------------------------------------------------ derived
+
+    @property
+    def wall_s(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else time.monotonic()
+        return end - self.started_at
+
+    def eta_s(self) -> Optional[float]:
+        done = self.completed + self.failed
+        if done == 0 or self.wall_s <= 0:
+            return None
+        rate = done / self.wall_s
+        return (self.total - done) / rate if rate > 0 else None
+
+    def summary_line(self) -> str:
+        done = self.completed + self.failed
+        wall = self.wall_s
+        parts = [f"[{self.label}] {done}/{self.total} cells"]
+        if wall > 0 and done:
+            parts.append(f"{done / wall:.2f} cells/s")
+        if self.sim_s and wall > 0:
+            parts.append(f"{self.sim_s / wall:.1f} sim-s/s")
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        eta = self.eta_s()
+        if eta is not None and done < self.total:
+            parts.append(f"ETA {eta:.0f}s")
+        elif done >= self.total:
+            parts.append(f"done in {wall:.1f}s")
+        return "  ".join(parts)
+
+    # ------------------------------------------------------------------ plumbing
+
+    def _emit(self, event: dict) -> None:
+        if self.log is not None:
+            try:
+                self.log.emit(event)
+            except Exception:  # pragma: no cover - telemetry must not crash sweeps
+                pass
+
+    def _render_line(self) -> None:
+        if not self.live:
+            return
+        self._write("\r" + self.summary_line() + "\x1b[K")
+
+    def _write(self, text: str) -> None:
+        try:
+            self.stream.write(text)
+            self.stream.flush()
+        except Exception:  # pragma: no cover - closed stream etc.
+            pass

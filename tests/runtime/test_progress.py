@@ -1,0 +1,90 @@
+"""Tests for sweep telemetry (progress line + JSONL run log)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.runtime.progress import ProgressReporter, RunLog
+
+
+class TestRunLog:
+    def test_appends_jsonl_events(self, tmp_path):
+        path = tmp_path / "log" / "run.jsonl"
+        log = RunLog(path)
+        log.emit({"event": "a", "n": 1})
+        log.emit({"event": "b", "key": [0, 1]})
+        log.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == ["a", "b"]
+
+    def test_reopening_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for i in range(2):
+            log = RunLog(path)
+            log.emit({"event": "run", "i": i})
+            log.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestProgressReporter:
+    def test_counts_and_summary(self, tmp_path):
+        log = RunLog(tmp_path / "run.jsonl")
+        rep = ProgressReporter(total=4, label="demo", log=log)
+        rep.sweep_started()
+        rep.cell_done((0, 0), wall_s=0.5, sim_s=8.0)
+        rep.cell_done((0, 1), cached=True)
+        rep.cell_done((1, 0), wall_s=0.25, sim_s=8.0)
+        rep.cell_failed((1, 1), kind="crash", error="boom", attempts=2)
+        summary = rep.sweep_finished()
+        log.close()
+
+        assert summary["completed"] == 3
+        assert summary["failed"] == 1
+        assert summary["cache_hits"] == 1
+        assert summary["cache_misses"] == 2
+        assert summary["cells_per_s"] > 0
+
+        events = [json.loads(l) for l in (tmp_path / "run.jsonl").read_text().splitlines()]
+        assert [e["event"] for e in events] == [
+            "sweep_start", "cell_done", "cell_done", "cell_done",
+            "cell_failed", "sweep_end",
+        ]
+        # tuple keys serialize as lists
+        assert events[1]["key"] == [0, 0]
+        assert events[4]["kind"] == "crash"
+
+    def test_eta_progresses_to_zero(self):
+        rep = ProgressReporter(total=2, label="demo")
+        rep.sweep_started()
+        assert rep.eta_s() is None  # nothing done yet
+        rep.cell_done("a", wall_s=0.01)
+        assert rep.eta_s() is not None and rep.eta_s() >= 0
+        rep.cell_done("b", wall_s=0.01)
+        assert rep.eta_s() == 0.0
+
+    def test_live_line_rendered_to_stream(self):
+        stream = io.StringIO()
+        rep = ProgressReporter(total=2, label="demo", live=True, stream=stream)
+        rep.sweep_started()
+        rep.cell_done("a", wall_s=0.1, sim_s=4.0)
+        rep.cell_failed("b", kind="timeout", error="too slow", attempts=1)
+        rep.sweep_finished()
+        text = stream.getvalue()
+        assert "[demo]" in text
+        assert "1 FAILED" in text
+        assert "2/2 cells" in text
+
+    def test_quiet_mode_writes_nothing(self):
+        stream = io.StringIO()
+        rep = ProgressReporter(total=1, label="demo", live=False, stream=stream)
+        rep.sweep_started()
+        rep.cell_done("a", wall_s=0.1)
+        rep.sweep_finished()
+        assert stream.getvalue() == ""
+
+    def test_summary_line_reports_cache_hits(self):
+        rep = ProgressReporter(total=3, label="demo")
+        rep.sweep_started()
+        rep.cell_done("a", cached=True)
+        assert "1 cached" in rep.summary_line()
