@@ -15,7 +15,15 @@ threaded through every experiment callable (no mutable globals):
 * ``--seed`` reseeds the whole run;
 * ``--timeout`` / ``--retries`` bound each cell's wall time and how
   often crashed cells are retried;
-* ``--run-log`` records machine-readable JSONL telemetry.
+* ``--run-log`` records machine-readable JSONL telemetry;
+* ``--telemetry`` attaches a per-cell metrics snapshot to each
+  ``cell_done`` run-log event; ``--profile`` additionally records
+  per-callback wall time (see ``docs/TELEMETRY.md``).
+
+``fancy-repro telemetry`` runs a canonical detection scenario under a
+live telemetry session and prints the metric catalogue, detection
+records, and event-loop hotspots (``--out DIR`` adds the timeline JSONL
+and a Prometheus text file).
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from .experiments import (
     table3,
     table4,
     table5,
+    telemetry_report,
     uniform,
 )
 from .runtime import DEFAULT_CACHE_DIR, RuntimeContext
@@ -65,6 +74,7 @@ EXPERIMENTS: dict[str, Callable[[bool, RuntimeContext], str]] = {
     "fig10": lambda quick, runtime: fig10.main(quick=quick, runtime=runtime),
     "fig11": lambda quick, runtime: fig11.main(quick=quick, runtime=runtime),
     "table5": lambda quick, runtime: table5.main(),
+    "telemetry": lambda quick, runtime: telemetry_report.main(quick=quick, runtime=runtime),
 }
 
 
@@ -79,6 +89,8 @@ def build_runtime(args: argparse.Namespace) -> RuntimeContext:
         retries=args.retries,
         run_log=args.run_log,
         progress=not args.quiet,
+        telemetry=args.telemetry or args.profile,
+        profile=args.profile,
     )
 
 
@@ -144,6 +156,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="append machine-readable JSONL sweep telemetry to FILE",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-cell metrics snapshots; with --run-log each "
+             "cell_done JSONL event carries its snapshot",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally record per-callback wall time in the event "
+             "engine (implies --telemetry)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the live stderr progress line",
@@ -168,7 +192,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         started = time.time()
         print(f"=== {name} ===")
-        text = EXPERIMENTS[name](not args.full, runtime)
+        if name == "telemetry":
+            # The telemetry summary writes extra machine-readable
+            # artifacts (timeline JSONL, Prometheus text) under --out.
+            text = telemetry_report.main(quick=not args.full, runtime=runtime,
+                                         out_dir=out_dir)
+        else:
+            text = EXPERIMENTS[name](not args.full, runtime)
         if out_dir is not None and text:
             (out_dir / f"{name}.txt").write_text(text + "\n")
         print(f"--- {name} done in {time.time() - started:.1f}s ---\n")

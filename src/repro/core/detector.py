@@ -126,6 +126,7 @@ class FancyLinkMonitor:
         down_port: int,
         config: Optional[FancyConfig] = None,
         log: Optional[FailureLog] = None,
+        telemetry: Optional[Any] = None,
     ):
         self.sim = sim
         self.upstream = upstream
@@ -134,6 +135,8 @@ class FancyLinkMonitor:
         self.down_port = down_port
         self.config = config or FancyConfig()
         self.log = log if log is not None else FailureLog()
+        self.telemetry = telemetry
+        self._timeline = telemetry.timeline if telemetry is not None else None
         self._id = f"{upstream.name}->{downstream.name}"
         self._entry_of = self.config.classifier or by_prefix
 
@@ -173,6 +176,7 @@ class FancyLinkMonitor:
             rtx_timeout=cfg.rtx_timeout_s,
             max_attempts=cfg.max_attempts,
             on_link_failure=self._on_link_failure,
+            telemetry=self.telemetry,
         )
         self.dedicated_receiver = FancyReceiver(
             self.sim,
@@ -181,6 +185,7 @@ class FancyLinkMonitor:
             DedicatedReceiverCounters(n),
             twait=cfg.twait_s,
             report_size_bytes=report_size,
+            telemetry=self.telemetry,
         )
 
     def _build_tree(self) -> None:
@@ -200,6 +205,8 @@ class FancyLinkMonitor:
             now_fn=lambda: self.sim.now,
             port=self.up_port,
             entry_of=self._entry_of,
+            telemetry=self.telemetry,
+            name=fsm_id,
         )
         self.tree_sender = FancySender(
             self.sim,
@@ -211,6 +218,7 @@ class FancyLinkMonitor:
             max_attempts=cfg.max_attempts,
             on_link_failure=self._on_link_failure,
             report_size_bytes=report_size,
+            telemetry=self.telemetry,
         )
         self.tree_receiver = FancyReceiver(
             self.sim,
@@ -219,6 +227,7 @@ class FancyLinkMonitor:
             TreeReceiverStrategy(params),
             twait=cfg.twait_s,
             report_size_bytes=report_size,
+            telemetry=self.telemetry,
         )
 
     def _install_hooks(self) -> None:
@@ -288,25 +297,52 @@ class FancyLinkMonitor:
 
     # -- detections ----------------------------------------------------------------------
 
-    def _on_dedicated_detection(self, entry: Any, lost: int, session_id: int) -> None:
-        self.log.record(
-            FailureReport(
-                FailureKind.DEDICATED_ENTRY,
-                self.sim.now,
-                entry=entry,
-                lost_packets=lost,
-                session_id=session_id,
-                port=self.up_port,
-            )
+    def _record_detection(self, report: FailureReport, fsm_id: str) -> None:
+        """Mirror a failure report into the telemetry timeline + registry.
+
+        The timeline event carries the *cumulative* control bytes at
+        detection time, so each per-entry detection record states what
+        the detection cost on the wire (§5.3's companion quantity).
+        """
+        if self.telemetry is None:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "fancy_detections_total", "Failure reports raised by the monitor",
+            monitor=self._id, kind=report.kind.value,
+        ).inc()
+        self._timeline.record(
+            report.time, self._id, "detection",
+            kind=report.kind.value,
+            fsm=fsm_id,
+            entry=report.entry,
+            hash_path=report.hash_path,
+            session=report.session_id,
+            lost=report.lost_packets,
+            control_bytes=int(metrics.total("fancy_control_bytes_total")),
         )
+
+    def _on_dedicated_detection(self, entry: Any, lost: int, session_id: int) -> None:
+        report = FailureReport(
+            FailureKind.DEDICATED_ENTRY,
+            self.sim.now,
+            entry=entry,
+            lost_packets=lost,
+            session_id=session_id,
+            port=self.up_port,
+        )
+        self.log.record(report)
+        self._record_detection(report, f"{self._id}/dedicated")
 
     def _on_tree_report(self, report: FailureReport) -> None:
         self.log.record(report)
+        self._record_detection(report, f"{self._id}/tree")
 
     def _on_link_failure(self, fsm_id: str, now: float) -> None:
-        self.log.record(
-            FailureReport(FailureKind.LINK_DOWN, now, entry=fsm_id, port=self.up_port)
-        )
+        report = FailureReport(FailureKind.LINK_DOWN, now, entry=fsm_id,
+                               port=self.up_port)
+        self.log.record(report)
+        self._record_detection(report, fsm_id)
 
     # -- lifecycle --------------------------------------------------------------------------
 

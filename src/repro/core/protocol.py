@@ -19,6 +19,15 @@ machinery drives both dedicated counters and the hash-based tree — which
 run as separate FSM instances per port with their own session durations
 (counters exchanged every 50 ms, tree zooming every 200 ms in the paper's
 evaluation).
+
+Telemetry: pass a :class:`repro.telemetry.Telemetry` session to record
+every FSM transition (``fsm_transition`` timeline events with
+``role``/``from``/``to``/``session`` fields), session lifecycle
+(``session_open`` / ``session_close``), and the control-plane cost
+(``fancy_control_messages_total{fsm,role,kind}`` and
+``fancy_control_bytes_total{fsm,role}`` counters — the single source of
+truth for §5.3's control-overhead accounting, see
+:func:`repro.experiments.metrics.control_overhead`).
 """
 
 from __future__ import annotations
@@ -87,6 +96,34 @@ class ReceiverStrategy(Protocol):
 ControlSender = Callable[[PacketKind, dict, int], None]
 
 
+def _count_control(telemetry: Any, fsm_id: str, role: str, kind: PacketKind,
+                   size: int, retransmit: bool = False) -> None:
+    """Account one outgoing control message in the metrics registry.
+
+    This is the canonical §5.3 control-overhead accounting — the
+    ``fancy_control_bytes_total`` family replaces the per-FSM ad-hoc
+    integer counters the experiment modules used to re-derive overhead
+    from (see :func:`repro.experiments.metrics.control_overhead`).
+    """
+    metrics = telemetry.metrics
+    metrics.counter(
+        "fancy_control_messages_total",
+        "FANcY control messages sent, by FSM, role and message kind",
+        fsm=fsm_id, role=role, kind=kind.value,
+    ).inc()
+    metrics.counter(
+        "fancy_control_bytes_total",
+        "FANcY control bytes sent on the wire, by FSM and role",
+        fsm=fsm_id, role=role,
+    ).inc(size)
+    if retransmit:
+        metrics.counter(
+            "fancy_retransmissions_total",
+            "Control messages retransmitted after an RTX timeout",
+            fsm=fsm_id,
+        ).inc()
+
+
 class FancySender:
     """Sender (upstream) FSM for one counter group on one port."""
 
@@ -101,6 +138,7 @@ class FancySender:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         on_link_failure: Optional[Callable[[str, float], None]] = None,
         report_size_bytes: int = MIN_FRAME_BYTES,
+        telemetry: Optional[Any] = None,
     ):
         if session_duration <= 0:
             raise ValueError("session duration must be positive")
@@ -113,13 +151,24 @@ class FancySender:
         self.max_attempts = max_attempts
         self.on_link_failure = on_link_failure
         self.report_size_bytes = report_size_bytes
+        self.telemetry = telemetry
+        self._timeline = telemetry.timeline if telemetry is not None else None
 
         self.state = SenderState.IDLE
         self.session_id = 0
         self.attempts = 0
         self.sessions_completed = 0
-        self.control_messages_sent = 0
         self._timer: Optional[EventHandle] = None
+
+    def _set_state(self, new_state: SenderState) -> None:
+        old_state = self.state
+        self.state = new_state
+        if self._timeline is not None and old_state is not new_state:
+            self._timeline.record(
+                self.sim.now, self.fsm_id, "fsm_transition", role="sender",
+                session=self.session_id,
+                **{"from": old_state.value, "to": new_state.value},
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -132,7 +181,10 @@ class FancySender:
     def _open_session(self) -> None:
         self.session_id += 1
         self.strategy.begin_session(self.session_id)
-        self.state = SenderState.WAIT_ACK
+        self._set_state(SenderState.WAIT_ACK)
+        if self._timeline is not None:
+            self._timeline.record(self.sim.now, self.fsm_id, "session_open",
+                                  fsm=self.fsm_id, session=self.session_id)
         self.attempts = 0
         self._send_start()
 
@@ -155,7 +207,9 @@ class FancySender:
     def _emit(self, kind: PacketKind, extra: dict, size: int = MIN_FRAME_BYTES) -> None:
         payload = {"fsm": self.fsm_id, "session": self.session_id}
         payload.update(extra)
-        self.control_messages_sent += 1
+        if self.telemetry is not None:
+            _count_control(self.telemetry, self.fsm_id, "sender", kind, size,
+                           retransmit=self.attempts > 1)
         self.send_control(kind, payload, size)
 
     def _arm_timer(self, callback: Callable[[], None]) -> None:
@@ -169,14 +223,19 @@ class FancySender:
 
     def _declare_link_failure(self) -> None:
         self._cancel_timer()
-        self.state = SenderState.FAILED
+        self._set_state(SenderState.FAILED)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "fancy_link_failures_total",
+                "Link-down declarations after max unanswered attempts",
+                fsm=self.fsm_id).inc()
         if self.on_link_failure is not None:
             self.on_link_failure(self.fsm_id, self.sim.now)
 
     def stop(self) -> None:
         """Tear the FSM down (experiment teardown)."""
         self._cancel_timer()
-        self.state = SenderState.IDLE
+        self._set_state(SenderState.IDLE)
 
     # -- events ---------------------------------------------------------------
 
@@ -186,20 +245,28 @@ class FancySender:
             return  # stale response from an earlier session
         if kind is PacketKind.FANCY_START_ACK and self.state is SenderState.WAIT_ACK:
             self._cancel_timer()
-            self.state = SenderState.COUNTING
+            self._set_state(SenderState.COUNTING)
             self.attempts = 0
             self._timer = self.sim.schedule(self.session_duration, self._close_session)
         elif kind is PacketKind.FANCY_REPORT and self.state is SenderState.WAIT_REPORT:
             self._cancel_timer()
             self.strategy.end_session(payload.get("snapshot"), self.session_id)
             self.sessions_completed += 1
+            if self._timeline is not None:
+                self._timeline.record(self.sim.now, self.fsm_id, "session_close",
+                                      fsm=self.fsm_id, session=self.session_id)
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter(
+                    "fancy_sessions_completed_total",
+                    "Counting sessions completed (Report received)",
+                    fsm=self.fsm_id).inc()
             self._open_session()
 
     def _close_session(self) -> None:
         self._timer = None
         if self.state is not SenderState.COUNTING:
             return
-        self.state = SenderState.WAIT_REPORT
+        self._set_state(SenderState.WAIT_REPORT)
         self.attempts = 0
         self._send_stop()
 
@@ -226,6 +293,7 @@ class FancyReceiver:
         strategy: ReceiverStrategy,
         twait: float = DEFAULT_TWAIT,
         report_size_bytes: int = MIN_FRAME_BYTES,
+        telemetry: Optional[Any] = None,
     ):
         self.sim = sim
         self.fsm_id = fsm_id
@@ -233,12 +301,23 @@ class FancyReceiver:
         self.strategy = strategy
         self.twait = twait
         self.report_size_bytes = report_size_bytes
+        self.telemetry = telemetry
+        self._timeline = telemetry.timeline if telemetry is not None else None
 
         self.state = ReceiverState.IDLE
         self.session_id = 0
-        self.control_messages_sent = 0
         self._last_report: Optional[dict] = None
         self._timer: Optional[EventHandle] = None
+
+    def _set_state(self, new_state: ReceiverState) -> None:
+        old_state = self.state
+        self.state = new_state
+        if self._timeline is not None and old_state is not new_state:
+            self._timeline.record(
+                self.sim.now, self.fsm_id, "fsm_transition", role="receiver",
+                session=self.session_id,
+                **{"from": old_state.value, "to": new_state.value},
+            )
 
     def on_control(self, kind: PacketKind, payload: dict) -> None:
         session = payload.get("session", -1)
@@ -247,7 +326,7 @@ class FancyReceiver:
                 # New session: reset counters and acknowledge.
                 self.session_id = session
                 self.strategy.begin_session(session)
-                self.state = ReceiverState.SEND_ACK
+                self._set_state(ReceiverState.SEND_ACK)
                 self._send(PacketKind.FANCY_START_ACK)
             elif session == self.session_id and self.state in (
                 ReceiverState.SEND_ACK,
@@ -265,7 +344,7 @@ class FancyReceiver:
                 ReceiverState.COUNTING,
             ):
                 # Keep counting for T_wait to catch delayed tagged packets.
-                self.state = ReceiverState.WAIT_TO_SEND
+                self._set_state(ReceiverState.WAIT_TO_SEND)
                 self._timer = self.sim.schedule(self.twait, self._send_report)
             elif session == self.session_id and self.state is ReceiverState.IDLE:
                 # Retransmitted Stop: our Report was lost — resend it.
@@ -278,7 +357,7 @@ class FancyReceiver:
         if self.state is not ReceiverState.WAIT_TO_SEND:
             return
         self._last_report = {"snapshot": self.strategy.snapshot()}
-        self.state = ReceiverState.IDLE
+        self._set_state(ReceiverState.IDLE)
         self._send(PacketKind.FANCY_REPORT, self._last_report, self.report_size_bytes)
 
     def _send(self, kind: PacketKind, extra: Optional[dict] = None,
@@ -286,7 +365,8 @@ class FancyReceiver:
         payload = {"fsm": self.fsm_id, "session": self.session_id}
         if extra:
             payload.update(extra)
-        self.control_messages_sent += 1
+        if self.telemetry is not None:
+            _count_control(self.telemetry, self.fsm_id, "receiver", kind, size)
         self.send_control(kind, payload, size)
 
     def process_packet(self, packet: Packet) -> bool:
@@ -295,7 +375,7 @@ class FancyReceiver:
             counted = self.strategy.process_packet(packet, self.session_id)
             if counted:
                 # First tagged packet of the session (Figure 3).
-                self.state = ReceiverState.COUNTING
+                self._set_state(ReceiverState.COUNTING)
             return counted
         if self.state in (ReceiverState.COUNTING, ReceiverState.WAIT_TO_SEND):
             return self.strategy.process_packet(packet, self.session_id)
@@ -305,4 +385,4 @@ class FancyReceiver:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        self.state = ReceiverState.IDLE
+        self._set_state(ReceiverState.IDLE)

@@ -66,6 +66,8 @@ class TreeSenderStrategy:
         now_fn: Optional[Callable[[], float]] = None,
         port: int = -1,
         entry_of: Optional[Callable[[Packet], Any]] = None,
+        telemetry: Optional[Any] = None,
+        name: str = "tree",
     ):
         self.tree = tree
         self.params: HashTreeParams = tree.params
@@ -78,6 +80,14 @@ class TreeSenderStrategy:
         self.port = port
         #: Entry classifier (§1); defaults to the destination prefix.
         self.entry_of = entry_of if entry_of is not None else (lambda p: p.entry)
+        self.name = name
+        self.telemetry = telemetry
+        self._timeline = telemetry.timeline if telemetry is not None else None
+        self._m_frontier = (
+            telemetry.metrics.gauge(
+                "fancy_zoom_frontier", "Active zooming explorations", fsm=name)
+            if telemetry is not None else None
+        )
 
         #: Active explorations, keyed by frontier node path (len 1..d-1).
         self.frontier: set[NodePath] = set()
@@ -110,10 +120,22 @@ class TreeSenderStrategy:
     def _activate(self, path: NodePath) -> None:
         self.frontier.add(path)
         self.counters.activate_node(path)
+        if self._timeline is not None:
+            self._timeline.record(self.now_fn(), self.name, "zoom_descend",
+                                  fsm=self.name, path=path, level=len(path))
+            self._m_frontier.set(len(self.frontier))
+            self.telemetry.metrics.counter(
+                "fancy_zoom_activations_total",
+                "Zooming-frontier node activations, by tree level",
+                fsm=self.name, level=str(len(path))).inc()
 
     def _deactivate(self, path: NodePath) -> None:
         self.frontier.discard(path)
         self.counters.deactivate_node(path)
+        if self._timeline is not None:
+            self._timeline.record(self.now_fn(), self.name, "zoom_retreat",
+                                  fsm=self.name, path=path, level=len(path))
+            self._m_frontier.set(len(self.frontier))
 
     # -- SenderStrategy interface ----------------------------------------------
 

@@ -41,6 +41,7 @@ from . import (  # noqa: F401
     table3,
     table4,
     table5,
+    telemetry_report,
     uniform,
 )
 
@@ -48,5 +49,5 @@ __all__ = [
     "table1",
     "table2", "fig2", "fig7", "fig8", "fig9", "uniform", "table3",
     "baselines52", "overhead", "table4", "fig10", "fig11", "table5",
-    "runner", "metrics", "report", "heatmaps",
+    "runner", "metrics", "report", "heatmaps", "telemetry_report",
 ]

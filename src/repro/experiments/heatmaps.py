@@ -61,10 +61,22 @@ PAPER_SCALE = HeatmapScale(
 def _cell_worker(payload: tuple) -> dict:
     """Top-level cell runner (picklable for the process pool).
 
-    Takes ``(spec, repetitions)``, returns a JSON-serializable dict so
-    the runtime can cache it.
+    Takes ``(spec, repetitions)`` or ``(spec, repetitions, options)``
+    and returns a JSON-serializable dict so the runtime can cache it.
+    With ``options={"telemetry": True}`` the cell runs under a fresh
+    :class:`~repro.telemetry.Telemetry` session and the returned dict
+    carries the cell's metrics snapshot under ``"metrics"`` (which the
+    executor forwards into the ``cell_done`` run-log event).
     """
-    spec, repetitions = payload
+    spec, repetitions, *rest = payload
+    options = rest[0] if rest else {}
+    if options.get("telemetry"):
+        from ..telemetry import Telemetry
+
+        session = Telemetry(profile=bool(options.get("profile")))
+        out = run_cell(spec, repetitions=repetitions, telemetry=session).to_dict()
+        out["metrics"] = session.snapshot()
+        return out
     return run_cell(spec, repetitions=repetitions).to_dict()
 
 
@@ -84,6 +96,9 @@ def run_heatmap(mode: str, scale: HeatmapScale, seed: int = 0,
     """
     runtime = resolve(runtime, workers=workers)
     failed = n_failed if n_failed is not None else scale.n_failed
+    options = None
+    if runtime.telemetry:
+        options = {"telemetry": True, "profile": runtime.profile}
     jobs = []
     for i, entry_size in enumerate(scale.rows):
         for j, loss_rate in enumerate(scale.loss_rates):
@@ -100,6 +115,7 @@ def run_heatmap(mode: str, scale: HeatmapScale, seed: int = 0,
             jobs.append(spec_job(
                 (i, j), spec, scale.repetitions,
                 sim_s=scale.duration_s * scale.repetitions,
+                options=options,
             ))
 
     sweep = run_sweep(jobs, _cell_worker, runtime=runtime,

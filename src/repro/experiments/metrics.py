@@ -124,4 +124,45 @@ def median(values: Sequence[float]) -> Optional[float]:
     return (ordered[mid - 1] + ordered[mid]) / 2
 
 
-__all__.append("median")
+def control_overhead(metrics, duration_s: Optional[float] = None) -> dict:
+    """Control-plane overhead of a run, from the telemetry registry.
+
+    This is the **single** accounting path for FANcY control traffic
+    (§5.3 / Table 4's bandwidth-overhead claim).  The FSMs used to keep
+    private ``control_messages_sent`` integers next to the registry
+    counters; that duplicate path is gone — the
+    ``fancy_control_messages_total`` / ``fancy_control_bytes_total``
+    counter families (labelled by FSM, role, and message kind) are the
+    source of truth, and the tests cross-check them against an
+    independent :class:`~repro.simulator.tracing.PacketTracer` count of
+    control packets on the wire.
+
+    Args:
+        metrics: a :class:`~repro.telemetry.MetricsRegistry` (anything
+            with ``total``/``value``-style counter access).
+        duration_s: when given, adds the average control bandwidth.
+
+    Returns:
+        dict with ``messages``, ``bytes``, ``retransmissions``, the
+        per-kind message breakdown under ``by_kind``, and — when
+        ``duration_s`` is given — ``bytes_per_s`` / ``bits_per_s``.
+    """
+    messages = metrics.total("fancy_control_messages_total")
+    total_bytes = metrics.total("fancy_control_bytes_total")
+    by_kind: dict[str, float] = {}
+    for inst in metrics.families().get("fancy_control_messages_total", []):
+        kind = dict(inst.labels).get("kind", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + inst.value
+    out = {
+        "messages": messages,
+        "bytes": total_bytes,
+        "retransmissions": metrics.total("fancy_retransmissions_total"),
+        "by_kind": dict(sorted(by_kind.items())),
+    }
+    if duration_s:
+        out["bytes_per_s"] = total_bytes / duration_s
+        out["bits_per_s"] = total_bytes * 8 / duration_s
+    return out
+
+
+__all__ += ["median", "control_overhead"]

@@ -27,6 +27,7 @@ from ..simulator.apps import FlowGenerator
 from ..simulator.engine import Simulator
 from ..simulator.failures import EntryLossFailure, UniformLossFailure
 from ..simulator.topology import TwoSwitchTopology
+from ..telemetry import Telemetry
 from ..traffic.synthetic import EntrySize
 from .metrics import CellResult, RunResult
 
@@ -92,16 +93,25 @@ class ExperimentSpec:
         return base.scaled(self.max_pps_per_entry)
 
 
-def run_entry_failure(spec: ExperimentSpec, rep: int = 0) -> RunResult:
+def run_entry_failure(spec: ExperimentSpec, rep: int = 0,
+                      telemetry: Optional[Telemetry] = None) -> RunResult:
     """One repetition of an entry-failure experiment.
 
     The setup RNG is seeded with an explicit hashlib derivation over
     ``(seed, rep, "setup")`` (see :func:`repro.runtime.jobs.stable_seed`)
     so repetitions are reproducible across processes and Python versions
     — a requirement for the parallel runtime's cache correctness.
+
+    When a :class:`~repro.telemetry.Telemetry` session is given, the
+    engine, topology, and monitor are instrumented, a
+    ``failure_injected`` timeline event is recorded per failed entry at
+    the injection instant, and the scored :class:`RunResult` carries the
+    per-entry detection records under ``extra["detections"]`` (the
+    timeline's injection→flag pairing; see
+    :meth:`repro.telemetry.StateTimeline.detection_records`).
     """
     rng = random.Random(stable_seed(spec.seed, rep, "setup"))
-    sim = Simulator()
+    sim = Simulator(telemetry=telemetry)
 
     failed = [f"failed/{i}" for i in range(spec.n_failed)]
     background = [f"bg/{i}" for i in range(spec.n_background)]
@@ -115,7 +125,8 @@ def run_entry_failure(spec: ExperimentSpec, rep: int = 0) -> RunResult:
         failure = EntryLossFailure(
             failed, spec.loss_rate, start_time=failure_time, seed=rng.randrange(2 ** 31)
         )
-    topo = TwoSwitchTopology(sim, link_delay_s=spec.link_delay_s, loss_model=failure)
+    topo = TwoSwitchTopology(sim, link_delay_s=spec.link_delay_s, loss_model=failure,
+                             telemetry=telemetry)
 
     if spec.mode == "dedicated":
         config = FancyConfig(
@@ -144,7 +155,25 @@ def run_entry_failure(spec: ExperimentSpec, rep: int = 0) -> RunResult:
     else:
         raise ValueError(f"unknown mode {spec.mode!r}")
 
-    monitor = FancyLinkMonitor(sim, topo.upstream, 1, topo.downstream, 1, config)
+    monitor = FancyLinkMonitor(sim, topo.upstream, 1, topo.downstream, 1, config,
+                               telemetry=telemetry)
+
+    if telemetry is not None:
+        timeline = telemetry.timeline
+
+        def _mark_injection() -> None:
+            if spec.uniform:
+                timeline.record(sim.now, "failure", "failure_injected",
+                                kind="uniform", loss_rate=spec.loss_rate)
+                return
+            for entry in failed:
+                hp = (monitor.tree_strategy.tree.hash_path(entry)
+                      if monitor.tree_strategy is not None else None)
+                timeline.record(sim.now, "failure", "failure_injected",
+                                entry=entry, hash_path=hp,
+                                loss_rate=spec.loss_rate)
+
+        sim.schedule_at(failure_time, _mark_injection)
 
     entry_profile = spec.effective_entry_size()
     bg_profile = spec.effective_background_size()
@@ -170,7 +199,12 @@ def run_entry_failure(spec: ExperimentSpec, rep: int = 0) -> RunResult:
     monitor.start()
     sim.run(until=spec.duration_s)
 
-    return _score(spec, monitor, failed, background, failure_time)
+    result = _score(spec, monitor, failed, background, failure_time)
+    if telemetry is not None:
+        result.extra["detections"] = [
+            record.to_dict() for record in telemetry.detection_records()
+        ]
+    return result
 
 
 def _score(
@@ -224,9 +258,17 @@ def _first_detection_time(monitor: FancyLinkMonitor, entry: str) -> Optional[flo
     return None
 
 
-def run_cell(spec: ExperimentSpec, repetitions: int = 3) -> CellResult:
-    """Run one heatmap cell: ``repetitions`` randomized repetitions."""
+def run_cell(spec: ExperimentSpec, repetitions: int = 3,
+             telemetry: Optional[Telemetry] = None) -> CellResult:
+    """Run one heatmap cell: ``repetitions`` randomized repetitions.
+
+    With telemetry, each repetition runs under a forked session — shared
+    :class:`~repro.telemetry.MetricsRegistry` accumulating across reps,
+    fresh :class:`~repro.telemetry.StateTimeline` per repetition (the
+    simulated clock restarts at zero each rep).
+    """
     cell = CellResult()
     for rep in range(repetitions):
-        cell.add(run_entry_failure(spec, rep=rep))
+        session = telemetry.fork() if telemetry is not None else None
+        cell.add(run_entry_failure(spec, rep=rep, telemetry=session))
     return cell

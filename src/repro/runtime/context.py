@@ -35,6 +35,10 @@ class RuntimeContext:
             re-submitted before being reported as failed.
         run_log: JSONL run-log path (None = no log file).
         progress: render the live stderr progress line.
+        telemetry: collect a metrics/timeline snapshot per sweep cell
+            (attached to each ``cell_done`` run-log event).
+        profile: additionally record per-callback wall time inside the
+            simulator (implies hotter instrumentation; off by default).
     """
 
     workers: Optional[int] = None
@@ -44,6 +48,8 @@ class RuntimeContext:
     retries: int = 1
     run_log: Optional[Union[str, Path]] = None
     progress: bool = False
+    telemetry: bool = False
+    profile: bool = False
 
     @property
     def parallel(self) -> bool:

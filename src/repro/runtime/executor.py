@@ -174,8 +174,9 @@ def _record_ok(job: Job, value: Any, wall_s: float, attempts: int,
         cache.put(job.fingerprint, value)
     except (OSError, TypeError, ValueError):  # cache failure must not kill the sweep
         pass
+    metrics = value.get("metrics") if isinstance(value, dict) else None
     reporter.cell_done(job.key, wall_s=wall_s, cached=False,
-                       sim_s=job.sim_s, attempts=attempts)
+                       sim_s=job.sim_s, attempts=attempts, metrics=metrics)
 
 
 def _record_failed(job: Job, errinfo: dict, attempts: int,

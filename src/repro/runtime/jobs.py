@@ -123,16 +123,24 @@ class Job:
 
 
 def spec_job(key: Hashable, spec: Any, repetitions: int = 1,
-             sim_s: Optional[float] = None, extra: Any = None) -> Job:
+             sim_s: Optional[float] = None, extra: Any = None,
+             options: Optional[dict] = None) -> Job:
     """Build a cacheable :class:`Job` over an experiment spec.
 
     The fingerprint covers the spec's dataclass fields (recursively — a
     changed tree geometry changes the fingerprint), the repetition
     count, any ``extra`` discriminator, and the code-version salt.
+
+    ``options`` (e.g. ``{"telemetry": True}``) are appended to the
+    payload as a third element *and* folded into the fingerprint, so a
+    telemetry-enabled cell — whose cached value carries a metrics
+    snapshot — never aliases a plain cell.  ``options=None`` keeps both
+    the two-element payload and the historical fingerprint.
     """
-    return Job(
-        key=key,
-        payload=(spec, repetitions),
-        fingerprint=fingerprint(spec, repetitions, extra),
-        sim_s=sim_s,
-    )
+    if options:
+        payload: Any = (spec, repetitions, dict(options))
+        fp = fingerprint(spec, repetitions, extra, dict(options))
+    else:
+        payload = (spec, repetitions)
+        fp = fingerprint(spec, repetitions, extra)
+    return Job(key=key, payload=payload, fingerprint=fp, sim_s=sim_s)

@@ -10,6 +10,8 @@ Two consumers, one event stream:
 
   - ``{"event": "sweep_start", "label", "total", "workers", "ts"}``
   - ``{"event": "cell_done", "key", "cached", "wall_s", "sim_s", "attempts", "ts"}``
+    (plus an optional ``"metrics"`` snapshot when the sweep ran with
+    telemetry enabled — see ``docs/TELEMETRY.md``)
   - ``{"event": "cell_failed", "key", "kind", "error", "attempts", "ts"}``
   - ``{"event": "sweep_end", "label", "completed", "failed",
      "cache_hits", "cache_misses", "wall_s", "cells_per_s",
@@ -102,7 +104,8 @@ class ProgressReporter:
         })
 
     def cell_done(self, key: Any, *, wall_s: float = 0.0, cached: bool = False,
-                  sim_s: Optional[float] = None, attempts: int = 1) -> None:
+                  sim_s: Optional[float] = None, attempts: int = 1,
+                  metrics: Optional[dict] = None) -> None:
         self.completed += 1
         if cached:
             self.cached += 1
@@ -110,7 +113,7 @@ class ProgressReporter:
             self.cell_wall_s += wall_s
             if sim_s:
                 self.sim_s += sim_s
-        self._emit({
+        event = {
             "event": "cell_done",
             "key": _jsonable_key(key),
             "cached": cached,
@@ -118,7 +121,10 @@ class ProgressReporter:
             "sim_s": sim_s,
             "attempts": attempts,
             "ts": time.time(),
-        })
+        }
+        if metrics is not None:
+            event["metrics"] = metrics
+        self._emit(event)
         self._render_line()
 
     def cell_failed(self, key: Any, *, kind: str, error: str, attempts: int) -> None:

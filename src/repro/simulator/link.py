@@ -62,6 +62,11 @@ class Link:
         delay_s: one-way propagation delay in seconds.
         loss_model: optional callable ``(packet, now) -> bool``; returning
             True drops the packet on the wire (a gray failure).
+        telemetry: optional :class:`repro.telemetry.Telemetry`; when set,
+            the link maintains ``link_tx_packets_total`` /
+            ``link_tx_bytes_total`` / ``link_delivered_total`` /
+            ``link_dropped_total{reason=failure}`` counters and the
+            ``link_queue_depth`` gauge, all labelled ``link=<name>``.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class Link:
         delay_s: float = 0.010,
         loss_model: Optional[Callable[[Packet, float], bool]] = None,
         name: str = "",
+        telemetry: Optional[Any] = None,
     ):
         self.sim = sim
         self.dst = dst
@@ -85,6 +91,22 @@ class Link:
         self._tx_queue: deque[Packet] = deque()
         self._ctrl_queue: deque[Packet] = deque()
         self._transmitting = False
+        self._telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            self._m_tx = metrics.counter(
+                "link_tx_packets_total", "Packets that left the sender", link=self.name)
+            self._m_tx_bytes = metrics.counter(
+                "link_tx_bytes_total", "Bytes that left the sender", link=self.name)
+            self._m_delivered = metrics.counter(
+                "link_delivered_total", "Packets delivered to the receiver",
+                link=self.name)
+            self._m_dropped = metrics.counter(
+                "link_dropped_total", "Packets dropped on the wire",
+                link=self.name, reason="failure")
+            self._m_depth = metrics.gauge(
+                "link_queue_depth", "Serialization-queue occupancy (packets)",
+                link=self.name)
 
     def send(self, packet: Packet) -> None:
         """Enqueue ``packet`` for transmission.
@@ -104,6 +126,8 @@ class Link:
             self._ctrl_queue.append(packet)
         else:
             self._tx_queue.append(packet)
+        if self._telemetry is not None:
+            self._m_depth.set(len(self._tx_queue) + len(self._ctrl_queue))
         if not self._transmitting:
             self._start_next()
 
@@ -127,13 +151,21 @@ class Link:
         """Packet left the sender; apply the wire loss model then propagate."""
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.size
+        if self._telemetry is not None:
+            self._m_tx.inc()
+            self._m_tx_bytes.inc(packet.size)
+            self._m_depth.set(len(self._tx_queue) + len(self._ctrl_queue))
         if self.loss_model is not None and self.loss_model(packet, self.sim.now):
             self.stats.dropped_failure += 1
+            if self._telemetry is not None:
+                self._m_dropped.inc()
             return
         self.sim.schedule(self.delay_s, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1
+        if self._telemetry is not None:
+            self._m_delivered.inc()
         self.dst.receive(packet, self.dst_port)
 
     @property
@@ -154,6 +186,7 @@ def connect_duplex(
     delay_s: float = 0.010,
     loss_model_ab: Optional[Callable[[Packet, float], bool]] = None,
     loss_model_ba: Optional[Callable[[Packet, float], bool]] = None,
+    telemetry: Optional[Any] = None,
 ) -> tuple[Link, Link]:
     """Create a bidirectional connection as a pair of unidirectional links.
 
@@ -161,9 +194,11 @@ def connect_duplex(
     in_port)``; every node in :mod:`repro.simulator` does.
     """
     ab = Link(sim, node_b, port_b, bandwidth_bps, delay_s, loss_model_ab,
-              name=f"{getattr(node_a, 'name', 'a')}->{getattr(node_b, 'name', 'b')}")
+              name=f"{getattr(node_a, 'name', 'a')}->{getattr(node_b, 'name', 'b')}",
+              telemetry=telemetry)
     ba = Link(sim, node_a, port_a, bandwidth_bps, delay_s, loss_model_ba,
-              name=f"{getattr(node_b, 'name', 'b')}->{getattr(node_a, 'name', 'a')}")
+              name=f"{getattr(node_b, 'name', 'b')}->{getattr(node_a, 'name', 'a')}",
+              telemetry=telemetry)
     node_a.attach_link(port_a, ab)
     node_b.attach_link(port_b, ba)
     return ab, ba

@@ -89,14 +89,42 @@ class Switch(Node):
         tm_queue_packets: TM admission limit per output port, expressed as
             the maximum number of packets queued on the outgoing link.
             ``None`` disables tail-drop (infinite buffers).
+        telemetry: optional :class:`repro.telemetry.Telemetry`; when set,
+            the switch maintains ``switch_received_total`` /
+            ``switch_forwarded_total`` / ``switch_consumed_total`` /
+            ``switch_dropped_total{reason=tm|no_route}`` counters and a
+            per-switch TM queue-occupancy histogram
+            ``switch_tm_queue_occupancy`` (sampled at admission time).
     """
 
-    def __init__(self, sim: Simulator, name: str, tm_queue_packets: Optional[int] = 1000):
+    def __init__(self, sim: Simulator, name: str, tm_queue_packets: Optional[int] = 1000,
+                 telemetry: Optional[Any] = None):
         super().__init__(sim, name)
         self.tm_queue_packets = tm_queue_packets
         self.routes: dict[Any, int] = {}
         self.default_port: Optional[int] = None
         self.stats = SwitchStats()
+        self._telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            self._m_received = metrics.counter(
+                "switch_received_total", "Packets entering the parser", switch=name)
+            self._m_forwarded = metrics.counter(
+                "switch_forwarded_total", "Packets leaving the egress pipeline",
+                switch=name)
+            self._m_consumed = metrics.counter(
+                "switch_consumed_total", "Packets consumed by ingress hooks",
+                switch=name)
+            self._m_drop_tm = metrics.counter(
+                "switch_dropped_total", "Packets dropped inside the switch",
+                switch=name, reason="tm")
+            self._m_drop_route = metrics.counter(
+                "switch_dropped_total", "Packets dropped inside the switch",
+                switch=name, reason="no_route")
+            self._m_tm_occupancy = metrics.histogram(
+                "switch_tm_queue_occupancy",
+                "Output-queue occupancy observed at TM admission (packets)",
+                start=1.0, base=4.0, n_buckets=8, switch=name)
         self._ingress_hooks: dict[int, list[IngressHook]] = {}
         self._egress_hooks: dict[int, list[EgressHook]] = {}
         #: Optional forwarding override, e.g. the fast-rerouting app;
@@ -133,9 +161,13 @@ class Switch(Node):
     def receive(self, packet: Packet, in_port: int) -> None:
         """Parser + ingress pipeline."""
         self.stats.received += 1
+        if self._telemetry is not None:
+            self._m_received.inc()
         for hook in self._ingress_hooks.get(in_port, ()):
             if not hook(packet, in_port):
                 self.stats.consumed += 1
+                if self._telemetry is not None:
+                    self._m_consumed.inc()
                 return
         self._traffic_manager(packet)
 
@@ -148,13 +180,21 @@ class Switch(Node):
             out_port = self.routes.get(packet.entry, self.default_port)
         if out_port is None:
             self.stats.dropped_no_route += 1
+            if self._telemetry is not None:
+                self._m_drop_route.inc()
             return
         link = self.links.get(out_port)
         if link is None:
             self.stats.dropped_no_route += 1
+            if self._telemetry is not None:
+                self._m_drop_route.inc()
             return
+        if self._telemetry is not None:
+            self._m_tm_occupancy.observe(link.queue_len)
         if self.tm_queue_packets is not None and link.queue_len >= self.tm_queue_packets:
             self.stats.dropped_tm += 1
+            if self._telemetry is not None:
+                self._m_drop_tm.inc()
             return
         self._egress(packet, out_port)
 
@@ -164,6 +204,8 @@ class Switch(Node):
             if not hook(packet, out_port):
                 return
         self.stats.forwarded += 1
+        if self._telemetry is not None:
+            self._m_forwarded.inc()
         self.transmit(packet, out_port)
 
     def inject(self, packet: Packet, out_port: int) -> None:

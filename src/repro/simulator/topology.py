@@ -41,6 +41,9 @@ class TwoSwitchTopology:
         reverse_loss_model: optional failure on the B→A direction (control
             messages/ACKs), for protocol-resilience experiments.
         tm_queue_packets: TM queue capacity on the switches.
+        telemetry: optional :class:`repro.telemetry.Telemetry` threaded
+            into both switches and the monitored-link pair (per-port
+            tx/drop counters and queue-occupancy signals).
     """
 
     def __init__(
@@ -52,12 +55,15 @@ class TwoSwitchTopology:
         loss_model: Optional[Callable[[Packet, float], bool]] = None,
         reverse_loss_model: Optional[Callable[[Packet, float], bool]] = None,
         tm_queue_packets: Optional[int] = 10000,
+        telemetry=None,
     ):
         self.sim = sim
         self.source = Host(sim, "src-host")
         self.sink = Host(sim, "dst-host", auto_sink=True)
-        self.upstream = Switch(sim, "A", tm_queue_packets=tm_queue_packets)
-        self.downstream = Switch(sim, "B", tm_queue_packets=tm_queue_packets)
+        self.upstream = Switch(sim, "A", tm_queue_packets=tm_queue_packets,
+                               telemetry=telemetry)
+        self.downstream = Switch(sim, "B", tm_queue_packets=tm_queue_packets,
+                                 telemetry=telemetry)
 
         connect_duplex(
             sim, self.source, 0, self.upstream, PORT_TO_HOST,
@@ -67,6 +73,7 @@ class TwoSwitchTopology:
             sim, self.upstream, PORT_TO_PEER, self.downstream, PORT_TO_PEER,
             bandwidth_bps=link_bandwidth_bps, delay_s=link_delay_s,
             loss_model_ab=loss_model, loss_model_ba=reverse_loss_model,
+            telemetry=telemetry,
         )
         connect_duplex(
             sim, self.downstream, PORT_TO_HOST, self.sink, 0,

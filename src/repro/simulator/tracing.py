@@ -9,8 +9,9 @@ of a large experiment is expensive.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, Union
 
 from .engine import Simulator
 from .link import Link
@@ -48,6 +49,12 @@ class PacketTracer:
         predicate: optional packet filter; only matching packets are
             recorded (e.g. ``lambda p: p.kind.is_control``).
         max_events: hard cap to bound memory in long runs.
+        ring_buffer: when True, keep the most *recent* ``max_events``
+            records instead of the first ones — the right mode when a
+            bug manifests late in a long run.  Either way,
+            ``dropped_records`` counts suppressed/evicted events and
+            :meth:`summary` / :meth:`dump` carry an explicit
+            truncation marker.
     """
 
     def __init__(
@@ -55,11 +62,15 @@ class PacketTracer:
         sim: Simulator,
         predicate: Optional[Callable[[Packet], bool]] = None,
         max_events: int = 100_000,
+        ring_buffer: bool = False,
     ):
         self.sim = sim
         self.predicate = predicate
         self.max_events = max_events
-        self.events: list[TraceEvent] = []
+        self.ring_buffer = ring_buffer
+        self.events: Union[list[TraceEvent], deque[TraceEvent]] = (
+            deque(maxlen=max_events) if ring_buffer else []
+        )
         self.dropped_records = 0
 
     # -- recording ----------------------------------------------------------
@@ -69,7 +80,9 @@ class PacketTracer:
             return
         if len(self.events) >= self.max_events:
             self.dropped_records += 1
-            return
+            if not self.ring_buffer:
+                return
+            # deque(maxlen=...) evicts the oldest record on append.
         self.events.append(TraceEvent(
             time=self.sim.now,
             location=location,
@@ -144,10 +157,20 @@ class PacketTracer:
         counts: dict[str, int] = {}
         for ev in self.events:
             counts[ev.event] = counts.get(ev.event, 0) + 1
+        if self.dropped_records:
+            counts["truncated"] = self.dropped_records
         return counts
 
     def dump(self, limit: int = 50) -> str:
-        lines = [ev.format() for ev in self.events[:limit]]
+        head = list(self.events)[:limit]
+        lines = [ev.format() for ev in head]
         if len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more events")
+        if self.dropped_records:
+            what = ("oldest records evicted (ring buffer)" if self.ring_buffer
+                    else "records suppressed at the cap")
+            lines.append(
+                f"!!! truncated: {self.dropped_records} {what} "
+                f"(max_events={self.max_events})"
+            )
         return "\n".join(lines)

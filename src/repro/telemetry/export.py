@@ -1,0 +1,127 @@
+"""Exporters: Prometheus text exposition format and JSON Lines.
+
+Both exporters work off a live :class:`~repro.telemetry.registry.
+MetricsRegistry` *or* one of its JSON snapshots, so the same code path
+serves in-process use (the ``fancy-repro telemetry`` command) and
+post-hoc tooling reading snapshots out of the runtime's JSONL run log.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Union
+
+from .registry import MetricsRegistry
+
+__all__ = ["to_prometheus", "to_jsonl", "hotspots"]
+
+_PROM_KINDS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+def _entries(source: Union[MetricsRegistry, dict]) -> list[dict]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()["metrics"]
+    return list(source.get("metrics", ()))
+
+
+def _label_str(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(source: Union[MetricsRegistry, dict],
+                  help_of: Optional[dict] = None) -> str:
+    """Render metrics in the Prometheus text exposition format (v0.0.4).
+
+    Counters are suffixed ``_total`` when not already; histograms expose
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    entries = _entries(source)
+    helps = dict(help_of or {})
+    if isinstance(source, MetricsRegistry):
+        helps.update({name: source.help_of(name) for name in source.families()})
+
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for entry in entries:
+        name = entry["name"]
+        kind = entry["kind"]
+        labels = entry.get("labels", {})
+        prom_name = name if kind != "counter" or name.endswith("_total") else f"{name}_total"
+        if prom_name not in seen_header:
+            help_text = helps.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {prom_name} {_escape(help_text)}")
+            lines.append(f"# TYPE {prom_name} {_PROM_KINDS.get(kind, 'untyped')}")
+            seen_header.add(prom_name)
+        if kind == "histogram":
+            cumulative = 0
+            for upper, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{prom_name}_bucket{_label_str(labels, {'le': _fmt(float(upper))})} "
+                    f"{cumulative}"
+                )
+            cumulative += entry["counts"][-1]
+            lines.append(
+                f"{prom_name}_bucket{_label_str(labels, {'le': '+Inf'})} {cumulative}"
+            )
+            lines.append(f"{prom_name}_sum{_label_str(labels)} {_fmt(entry['sum'])}")
+            lines.append(f"{prom_name}_count{_label_str(labels)} {entry['count']}")
+        else:
+            lines.append(f"{prom_name}{_label_str(labels)} {_fmt(entry['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(source: Union[MetricsRegistry, dict]) -> str:
+    """One JSON object per instrument, one instrument per line."""
+    lines = [json.dumps(entry, default=str) for entry in _entries(source)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def hotspots(source: Union[MetricsRegistry, dict], metric: str = "sim_callback_seconds",
+             top: int = 10) -> list[dict]:
+    """Event-loop profile: callbacks ranked by total wall time.
+
+    Reads the per-callback wall-time histograms the simulator engine
+    records under ``--profile`` and returns, per callback, the call
+    count, total / mean / max wall seconds — the profiling workflow's
+    "where did the time go" table.
+    """
+    rows = []
+    for entry in _entries(source):
+        if entry["name"] != metric or entry["kind"] != "histogram":
+            continue
+        labels = entry.get("labels", {})
+        count = entry.get("count", 0)
+        total = entry.get("sum", 0.0)
+        rows.append({
+            "callback": labels.get("callback", "?"),
+            "calls": count,
+            "total_s": total,
+            "mean_s": (total / count) if count else 0.0,
+            "max_s": entry.get("max"),
+        })
+    rows.sort(key=lambda r: -r["total_s"])
+    return rows[:top]

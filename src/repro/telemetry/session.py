@@ -1,0 +1,60 @@
+"""The per-simulation telemetry session object.
+
+A :class:`Telemetry` bundles what one simulation run emits:
+
+* a :class:`~repro.telemetry.registry.MetricsRegistry` (counters,
+  gauges, log-scale histograms),
+* a :class:`~repro.telemetry.timeline.StateTimeline` (FSM transitions,
+  session lifecycle, zooming descent, failure injection → detection),
+* the ``profile`` switch that turns on per-callback wall-time
+  histograms in the event engine.
+
+Every instrumented component (`Simulator`, `Link`, `Switch`, the FANcY
+FSMs, `FancyLinkMonitor`) takes ``telemetry=None``; passing a session
+switches structured signals on, ``None`` keeps the hot paths free.
+
+The **registry can be shared across runs** while timelines cannot: a
+timeline is monotonically timestamped and every simulation restarts its
+clock at zero.  :meth:`Telemetry.fork` hands out a sibling session with
+the same registry (and profile flag) but a fresh timeline — what
+``run_cell`` uses to aggregate metrics over a cell's repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registry import MetricsRegistry
+from .timeline import StateTimeline
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """One simulation's metrics registry + state timeline + profile flag."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        timeline: Optional[StateTimeline] = None,
+        profile: bool = False,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timeline = timeline if timeline is not None else StateTimeline()
+        self.profile = profile
+
+    def fork(self) -> "Telemetry":
+        """Sibling session: shared registry, fresh timeline."""
+        return Telemetry(metrics=self.metrics, timeline=StateTimeline(
+            max_events=self.timeline.max_events), profile=self.profile)
+
+    def detection_records(self):
+        return self.timeline.detection_records()
+
+    def snapshot(self) -> dict:
+        """JSON-serializable metrics snapshot (rides the JSONL run log)."""
+        return self.metrics.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Telemetry(instruments={len(self.metrics)}, "
+                f"timeline_events={len(self.timeline)}, profile={self.profile})")

@@ -6,10 +6,8 @@ import pytest
 
 from repro.apps.rerouting import FastRerouteApp
 from repro.core.detector import FancyConfig, FancyLinkMonitor
-from repro.core.hashtree import HashTreeParams
 from repro.experiments.fig10 import Fig10Config, run_case
 from repro.simulator.apps import FlowGenerator, Host
-from repro.simulator.engine import Simulator
 from repro.simulator.failures import EntryLossFailure
 from repro.simulator.link import connect_duplex
 from repro.simulator.switch import Switch

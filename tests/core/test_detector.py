@@ -8,7 +8,6 @@ from repro.core.detector import FancyConfig, FancyLinkMonitor
 from repro.core.hashtree import HashTreeParams
 from repro.core.output import FailureKind
 from repro.simulator.apps import FlowGenerator
-from repro.simulator.engine import Simulator
 from repro.simulator.failures import ControlPlaneFailure, EntryLossFailure
 from repro.simulator.topology import ChainTopology, TwoSwitchTopology
 

@@ -3,7 +3,6 @@ cross-check and validation against simulated heatmap cells."""
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest

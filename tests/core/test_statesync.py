@@ -13,7 +13,7 @@ from repro.core.statesync import (
     payload_signature,
 )
 from repro.simulator.apps import FlowGenerator
-from repro.simulator.failures import EntryLossFailure, PacketPropertyFailure
+from repro.simulator.failures import EntryLossFailure
 from repro.simulator.packet import Packet, PacketKind
 from repro.simulator.topology import TwoSwitchTopology
 

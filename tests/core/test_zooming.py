@@ -7,7 +7,6 @@ zooming decision is observable and deterministic.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.hashtree import HashTree, HashTreeParams

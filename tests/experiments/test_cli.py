@@ -15,7 +15,7 @@ class TestCli:
         expected = {
             "table1", "table2", "fig2", "fig7", "fig8", "fig9a", "fig9b",
             "uniform", "table3", "baselines", "overhead", "table4", "fig10",
-            "fig11", "table5",
+            "fig11", "table5", "telemetry",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -42,6 +42,7 @@ def _default_args() -> argparse.Namespace:
     return argparse.Namespace(
         workers=None, cache_dir=DEFAULT_CACHE_DIR, no_cache=False, seed=0,
         timeout=None, retries=1, run_log=None, quiet=False,
+        telemetry=False, profile=False,
     )
 
 

@@ -19,7 +19,7 @@ from repro.experiments import (
     table3,
     uniform,
 )
-from repro.traffic.synthetic import ENTRY_SIZE_GRID, EntrySize
+from repro.traffic.synthetic import EntrySize
 
 
 class TestFig8Module:

@@ -8,13 +8,11 @@ failure is detected and correctly localized.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.detector import FancyConfig, FancyLinkMonitor
 from repro.core.hashtree import HashTreeParams
 from repro.core.output import FailureKind
 from repro.simulator.apps import FlowGenerator
-from repro.simulator.engine import Simulator
 from repro.simulator.failures import (
     EntryLossFailure,
     PacketPropertyFailure,

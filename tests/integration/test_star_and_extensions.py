@@ -11,7 +11,6 @@ from repro.core.entries import MonitoringInput
 from repro.core.memory import MemoryBudgetError
 from repro.core.output import FailureKind
 from repro.simulator.apps import FlowGenerator
-from repro.simulator.engine import Simulator
 from repro.simulator.failures import EntryLossFailure, IntermittentFailure
 from repro.simulator.topology import StarTopology, TwoSwitchTopology
 

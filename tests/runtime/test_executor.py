@@ -7,7 +7,6 @@ import os
 import time
 from pathlib import Path
 
-import pytest
 
 from repro.runtime import Job, RuntimeContext, fingerprint, run_sweep
 

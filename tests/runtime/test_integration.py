@@ -19,7 +19,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 from repro.experiments import fig9, heatmaps
 from repro.experiments.heatmaps import HeatmapScale, run_heatmap

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simulator.engine import Simulator
 from repro.simulator.link import Link, connect_duplex
 from repro.simulator.packet import Packet, PacketKind
 from repro.simulator.switch import Node

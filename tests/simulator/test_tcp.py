@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simulator.engine import Simulator
 from repro.simulator.packet import Packet, PacketKind
 from repro.simulator.tcp import DEFAULT_RTO, MAX_RTO, TcpFlow, TcpSink
 

@@ -80,6 +80,49 @@ class TestPacketTracer:
         assert len(tracer) == 5
         assert tracer.dropped_records > 0
 
+    def test_truncation_marker(self, sim):
+        """Hitting max_events leaves an explicit marker in summary/dump."""
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim, max_events=5)
+        tracer.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "e", rate_bps=2e6, flows_per_second=10,
+                      seed=1).start()
+        sim.run(until=1.0)
+        summary = tracer.summary()
+        assert summary["truncated"] == tracer.dropped_records
+        text = tracer.dump()
+        assert "truncated" in text
+        assert str(tracer.dropped_records) in text
+        assert "suppressed" in text  # first-N mode keeps the earliest events
+
+    def test_no_marker_below_cap(self, sim):
+        topo = TwoSwitchTopology(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "e", rate_bps=500e3, flows_per_second=5,
+                      seed=1).start()
+        sim.run(until=0.5)
+        assert "truncated" not in tracer.summary()
+        assert "truncated" not in tracer.dump(limit=1000)
+
+    def test_ring_buffer_keeps_most_recent(self, sim):
+        topo = TwoSwitchTopology(sim)
+        plain = PacketTracer(sim)
+        ring = PacketTracer(sim, max_events=5, ring_buffer=True)
+        tracer_all = plain
+        tracer_all.attach_link(topo.monitored_link)
+        ring.attach_link(topo.monitored_link)
+        FlowGenerator(sim, topo.source, "e", rate_bps=2e6, flows_per_second=10,
+                      seed=1).start()
+        sim.run(until=1.0)
+        assert len(ring) == 5
+        assert ring.dropped_records == len(tracer_all.events) - 5
+        # The ring keeps the *last* five events, not the first five.
+        kept = list(ring.events)
+        assert [e.pid for e in kept] == [e.pid for e in tracer_all.events[-5:]]
+        assert kept[0].time >= tracer_all.events[0].time
+        assert "evicted" in ring.dump()
+
     def test_filter_queries(self, sim):
         topo = TwoSwitchTopology(sim)
         tracer = PacketTracer(sim)

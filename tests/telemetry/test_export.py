@@ -1,0 +1,106 @@
+"""Tests for the Prometheus / JSONL exporters and the hotspot profile."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, hotspots, to_jsonl, to_prometheus
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(3)
+        text = to_prometheus(reg)
+        assert "# TYPE events_total counter" in text
+        assert "events_total 3" in text
+
+    def test_counter_with_existing_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("tx_total").inc()
+        assert "tx_total_total" not in to_prometheus(reg)
+
+    def test_labels_rendered(self):
+        reg = MetricsRegistry()
+        reg.counter("tx_total", link="A->B", port="1").inc(2)
+        text = to_prometheus(reg)
+        assert 'tx_total{link="A->B",port="1"} 2' in text
+
+    def test_help_header(self):
+        reg = MetricsRegistry()
+        reg.counter("tx_total", "packets on the wire").inc()
+        assert "# HELP tx_total packets on the wire" in to_prometheus(reg)
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", start=1.0, base=10.0, n_buckets=2)
+        h.observe(0.5)    # bucket le=1
+        h.observe(5.0)    # bucket le=10
+        h.observe(1000.0)  # overflow
+        text = to_prometheus(reg)
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="10"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(4)
+        text = to_prometheus(reg)
+        assert "# TYPE depth gauge" in text
+        assert "depth 4" in text
+
+    def test_snapshot_source_equivalent(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", x="1").inc(2)
+        reg.histogram("h", start=1.0, base=2.0, n_buckets=2).observe(1.5)
+        # Rendering from the live registry and from its snapshot must
+        # produce identical sample lines (headers may differ on HELP).
+        live = [ln for ln in to_prometheus(reg).splitlines() if not ln.startswith("#")]
+        snap = [ln for ln in to_prometheus(reg.snapshot()).splitlines()
+                if not ln.startswith("#")]
+        assert live == snap
+
+
+class TestJsonl:
+    def test_one_object_per_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", x="1").inc()
+        reg.gauge("g").set(2)
+        lines = to_jsonl(reg).splitlines()
+        objs = [json.loads(line) for line in lines]
+        assert len(objs) == 2
+        assert {o["name"] for o in objs} == {"a_total", "g"}
+        assert objs[0]["labels"] == {"x": "1"}
+
+    def test_empty_registry(self):
+        assert to_jsonl(MetricsRegistry()) == ""
+
+
+class TestHotspots:
+    def test_ranked_by_total_time(self):
+        reg = MetricsRegistry()
+        fast = reg.histogram("sim_callback_seconds", callback="fast",
+                             start=1e-7, base=10.0, n_buckets=8)
+        slow = reg.histogram("sim_callback_seconds", callback="slow",
+                             start=1e-7, base=10.0, n_buckets=8)
+        for _ in range(10):
+            fast.observe(1e-6)
+        slow.observe(1.0)
+        ranked = hotspots(reg)
+        assert ranked[0]["callback"] == "slow"
+        assert ranked[0]["total_s"] == 1.0
+        assert ranked[1]["calls"] == 10
+        assert ranked[1]["mean_s"] == pytest.approx(1e-6)
+
+    def test_top_limit(self):
+        reg = MetricsRegistry()
+        for i in range(20):
+            reg.histogram("sim_callback_seconds", callback=f"cb{i}").observe(1.0)
+        assert len(hotspots(reg, top=5)) == 5
+
+    def test_no_profile_data(self):
+        assert hotspots(MetricsRegistry()) == []

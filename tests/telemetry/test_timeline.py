@@ -1,0 +1,145 @@
+"""Tests for the protocol state timeline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import StateTimeline
+
+
+class TestMonotonicOrdering:
+    def test_backwards_timestamp_raises(self):
+        tl = StateTimeline()
+        tl.record(1.0, "a", "x")
+        with pytest.raises(ValueError):
+            tl.record(0.5, "a", "y")
+
+    def test_equal_timestamps_allowed_and_seq_ordered(self):
+        tl = StateTimeline()
+        tl.record(1.0, "a", "x")
+        tl.record(1.0, "b", "y")
+        tl.record(1.0, "c", "z")
+        assert [ev.seq for ev in tl] == [0, 1, 2]
+        assert [ev.event for ev in tl] == ["x", "y", "z"]
+
+    def test_events_are_time_sorted_by_construction(self):
+        tl = StateTimeline()
+        for t in (0.0, 0.5, 0.5, 2.0, 7.25):
+            tl.record(t, "s", "e")
+        times = [ev.time for ev in tl]
+        assert times == sorted(times)
+
+    def test_rejection_does_not_corrupt_state(self):
+        tl = StateTimeline()
+        tl.record(2.0, "a", "x")
+        with pytest.raises(ValueError):
+            tl.record(1.0, "a", "y")
+        tl.record(2.0, "a", "z")  # same time still fine
+        assert len(tl) == 2
+
+
+class TestTruncation:
+    def test_max_events_suppresses_and_counts(self):
+        tl = StateTimeline(max_events=3)
+        for i in range(10):
+            tl.record(float(i), "s", "e")
+        assert len(tl) == 3
+        assert tl.suppressed == 7
+        # Suppressed events still advance the monotonic clock.
+        with pytest.raises(ValueError):
+            tl.record(1.0, "s", "late")
+
+    def test_jsonl_truncation_marker(self):
+        tl = StateTimeline(max_events=2)
+        for i in range(5):
+            tl.record(float(i), "s", "e")
+        lines = tl.to_jsonl().splitlines()
+        assert len(lines) == 3
+        marker = json.loads(lines[-1])
+        assert marker == {
+            "event": "timeline_truncated",
+            "suppressed": 3,
+            "max_events": 2,
+        }
+
+    def test_no_marker_when_not_truncated(self):
+        tl = StateTimeline()
+        tl.record(0.0, "s", "e")
+        assert "timeline_truncated" not in tl.to_jsonl()
+
+
+class TestQueries:
+    def _populated(self) -> StateTimeline:
+        tl = StateTimeline()
+        tl.record(0.0, "fsm/a", "fsm_transition", fsm="fsm/a",
+                  **{"from": "idle", "to": "wait_ack"})
+        tl.record(0.1, "fsm/b", "fsm_transition", fsm="fsm/b",
+                  **{"from": "idle", "to": "send_ack"})
+        tl.record(0.2, "fsm/a", "session_open", fsm="fsm/a", session=1)
+        return tl
+
+    def test_select_by_event_and_source(self):
+        tl = self._populated()
+        assert len(tl.select("fsm_transition")) == 2
+        assert len(tl.select(source="fsm/a")) == 2
+        assert len(tl.select("session_open", source="fsm/a")) == 1
+
+    def test_transitions_filter_by_fsm(self):
+        tl = self._populated()
+        assert len(tl.transitions()) == 2
+        assert len(tl.transitions(fsm="fsm/b")) == 1
+
+    def test_counts(self):
+        tl = self._populated()
+        assert tl.counts() == {"fsm_transition": 2, "session_open": 1}
+
+    def test_jsonl_roundtrip(self):
+        tl = self._populated()
+        objs = [json.loads(line) for line in tl.to_jsonl().splitlines()]
+        assert objs[0]["event"] == "fsm_transition"
+        assert objs[0]["from"] == "idle"
+        assert objs[2]["session"] == 1
+
+
+class TestDetectionRecords:
+    def test_dedicated_entry_pairing(self):
+        tl = StateTimeline()
+        tl.record(0.5, "mon", "session_open", fsm="mon/dedicated", session=1)
+        tl.record(1.0, "failure", "failure_injected", entry="e", hash_path=None)
+        tl.record(1.1, "mon", "session_open", fsm="mon/dedicated", session=2)
+        tl.record(1.2, "mon", "detection", kind="dedicated_entry",
+                  fsm="mon/dedicated", entry="e", control_bytes=123)
+        (rec,) = tl.detection_records()
+        assert rec.detected
+        assert rec.entry == "e"
+        assert rec.latency == pytest.approx(0.2)
+        assert rec.sessions_used == 1  # only the post-injection session
+        assert rec.control_bytes == 123
+        assert rec.to_dict()["latency"] == pytest.approx(0.2)
+
+    def test_tree_pairing_by_hash_path(self):
+        tl = StateTimeline()
+        tl.record(1.0, "failure", "failure_injected", entry="e",
+                  hash_path=(3, 1, 4))
+        tl.record(2.0, "mon", "detection", kind="tree_leaf", fsm="mon/tree",
+                  entry=None, hash_path=[3, 1, 4], control_bytes=7)
+        (rec,) = tl.detection_records()
+        assert rec.detected
+        assert rec.kind == "tree_leaf"
+
+    def test_undetected_failure(self):
+        tl = StateTimeline()
+        tl.record(1.0, "failure", "failure_injected", entry="e", hash_path=None)
+        (rec,) = tl.detection_records()
+        assert not rec.detected
+        assert rec.latency is None
+
+    def test_detection_before_injection_is_ignored(self):
+        tl = StateTimeline()
+        tl.record(0.5, "mon", "detection", kind="dedicated_entry",
+                  fsm="mon/dedicated", entry="e")
+        tl.record(1.0, "failure", "failure_injected", entry="e", hash_path=None)
+        (rec,) = tl.detection_records()
+        assert not rec.detected

@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import pathlib
 import runpy
-import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.traffic.caida import CAIDA_TRACES, SyntheticCaidaTrace, TraceSlice
+from repro.traffic.caida import CAIDA_TRACES, SyntheticCaidaTrace
 from repro.traffic.trace_io import (
     load_slice,
     save_slice,
