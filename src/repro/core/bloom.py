@@ -20,15 +20,26 @@ from typing import Any, Iterable
 __all__ = ["BloomFilter", "CountingBloomFilter", "stable_hash"]
 
 
+#: Memoized seed -> key-bytes conversions (a handful of seeds per run,
+#: but ``stable_hash`` sits on per-packet paths; shaving the ``to_bytes``
+#: is measurable in the hash-path microbenchmark).
+_KEY_BYTES: dict[int, bytes] = {}
+
+_blake2b = hashlib.blake2b
+_from_bytes = int.from_bytes
+
+
 def stable_hash(value: Any, seed: int) -> int:
     """Deterministic, platform-independent hash of ``value`` under ``seed``.
 
     Python's builtin ``hash`` is salted per process, which would make
     experiments unrepeatable; we use blake2b with the seed as key.
     """
-    data = repr(value).encode()
-    digest = hashlib.blake2b(data, digest_size=8, key=seed.to_bytes(8, "little")).digest()
-    return int.from_bytes(digest, "little")
+    key = _KEY_BYTES.get(seed)
+    if key is None:
+        key = _KEY_BYTES[seed] = seed.to_bytes(8, "little")
+    digest = _blake2b(repr(value).encode(), digest_size=8, key=key).digest()
+    return _from_bytes(digest, "little")
 
 
 class BloomFilter:
@@ -58,8 +69,7 @@ class BloomFilter:
         return all(self.bits[idx >> 3] & (1 << (idx & 7)) for idx in self._indices(item))
 
     def clear(self) -> None:
-        for i in range(len(self.bits)):
-            self.bits[i] = 0
+        self.bits[:] = bytes(len(self.bits))  # one C-level zero fill
         self.inserted = 0
 
     @property
@@ -87,12 +97,13 @@ class CountingBloomFilter:
         self.counter_bits = counter_bits
         self.seed = seed
         self.counters = [0] * n_cells
+        self._mask = (1 << counter_bits) - 1
 
     def _indices(self, item: Any) -> list[int]:
         return [stable_hash(item, self.seed + j) % self.n_cells for j in range(self.n_hashes)]
 
     def add(self, item: Any, count: int = 1) -> None:
-        mask = (1 << self.counter_bits) - 1
+        mask = self._mask
         for idx in self._indices(item):
             self.counters[idx] = (self.counters[idx] + count) & mask
 
@@ -112,8 +123,7 @@ class CountingBloomFilter:
         return all(idx in cells for idx in self._indices(item))
 
     def clear(self) -> None:
-        for i in range(self.n_cells):
-            self.counters[i] = 0
+        self.counters[:] = [0] * self.n_cells
 
     @property
     def memory_bits(self) -> int:

@@ -9,13 +9,27 @@ flags any entry whose sent count exceeds the received count.
 Dedicated counters have zero false positives by construction (§5: "the
 FPR is always zero for any dedicated counter") and detect a failure at the
 first counter exchange after it manifests.
+
+Fast path: the per-session comparison first does one bulk equality check
+(the overwhelmingly common "nothing lost" case is a single C-level list
+compare), and only on inequality scans for mismatching indices — with
+numpy when available and the entry set is wide, in pure Python otherwise.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
+try:  # numpy is a declared dependency, but keep the import soft.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 from ..simulator.packet import Packet
+
+#: Below this many entries the pure-Python scan beats numpy's conversion
+#: overhead (measured in benchmarks/test_microbench.py).
+_VECTORIZE_MIN_ENTRIES = 64
 
 __all__ = ["DedicatedSenderCounters", "DedicatedReceiverCounters"]
 
@@ -41,6 +55,7 @@ class DedicatedSenderCounters:
             raise ValueError("duplicate high-priority entries")
         self.entries = list(entries)
         self.counters = [0] * len(entries)
+        self._zeros = [0] * len(entries)
         self.on_detection = on_detection
         #: Entry classifier (§1: entries are match rules on packets; the
         #: default is the destination prefix carried in ``packet.entry``).
@@ -52,8 +67,8 @@ class DedicatedSenderCounters:
     # -- SenderStrategy interface -------------------------------------------
 
     def begin_session(self, session_id: int) -> None:
-        for i in range(len(self.counters)):
-            self.counters[i] = 0
+        # Slice-assign keeps the list object (callers may hold a ref).
+        self.counters[:] = self._zeros
 
     def process_packet(self, packet: Packet, session_id: int) -> bool:
         """Tag and count ``packet`` if it matches a dedicated entry.
@@ -77,18 +92,45 @@ class DedicatedSenderCounters:
         """Compare against the downstream's Report; flag mismatching entries.
 
         Returns the list of entries flagged in this session.
+
+        The loss-free case — by far the most common session outcome — is
+        one bulk equality check; only unequal sessions pay the per-index
+        scan (vectorized for wide entry sets).
         """
+        local = self.counters
+        n = len(local)
+        if isinstance(remote_counters, list) and len(remote_counters) == n \
+                and remote_counters == local:
+            self.sessions_completed += 1
+            return []
+        mismatching = self._mismatch_indices(remote_counters, n)
         detected: list[Any] = []
-        for i, local in enumerate(self.counters):
-            remote = remote_counters[i] if i < len(remote_counters) else 0
-            if local > remote:
-                entry = self.entries[i]
-                self.flags[i] = True
-                detected.append(entry)
-                if self.on_detection is not None:
-                    self.on_detection(entry, local - remote, session_id)
+        n_remote = len(remote_counters)
+        for i in mismatching:
+            entry = self.entries[i]
+            self.flags[i] = True
+            detected.append(entry)
+            if self.on_detection is not None:
+                remote = remote_counters[i] if i < n_remote else 0
+                self.on_detection(entry, local[i] - remote, session_id)
         self.sessions_completed += 1
         return detected
+
+    def _mismatch_indices(self, remote_counters: Sequence[int], n: int) -> list[int]:
+        """Indices where local (sent) exceeds remote (received)."""
+        local = self.counters
+        if _np is not None and n >= _VECTORIZE_MIN_ENTRIES:
+            local_arr = _np.asarray(local, dtype=_np.int64)
+            remote_arr = _np.zeros(n, dtype=_np.int64)
+            m = min(n, len(remote_counters))
+            if m:
+                remote_arr[:m] = remote_counters[:m]
+            return _np.nonzero(local_arr > remote_arr)[0].tolist()
+        n_remote = len(remote_counters)
+        return [
+            i for i, value in enumerate(local)
+            if value > (remote_counters[i] if i < n_remote else 0)
+        ]
 
     def clear_flags(self) -> None:
         for i in range(len(self.flags)):
@@ -109,12 +151,12 @@ class DedicatedReceiverCounters:
 
     def __init__(self, n_entries: int):
         self.counters = [0] * n_entries
+        self._zeros = [0] * n_entries
 
     # -- ReceiverStrategy interface ------------------------------------------
 
     def begin_session(self, session_id: int) -> None:
-        for i in range(len(self.counters)):
-            self.counters[i] = 0
+        self.counters[:] = self._zeros
 
     def process_packet(self, packet: Packet, session_id: int) -> bool:
         """Count a tagged packet; returns True if it belonged to us."""

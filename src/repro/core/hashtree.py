@@ -15,10 +15,25 @@ Two cooperating classes:
   sequence of counter indices chosen at each ancestor level), so the
   downstream can maintain it purely from packet tags, never hashing
   entries itself — exactly the property §4.2 calls out.
+
+Fast path: counters live in one preallocated ``array('Q')`` sized for the
+Appendix A.3 node budget, addressed as ``row * width + index`` — the same
+flat-register layout a Tofino pipeline uses.  Zoom paths map to rows via
+a small dict; freed rows go on a free list and are re-zeroed at
+activation, and the arena doubles if the zooming algorithm ever activates
+more nodes than the physical budget (useful for unit tests that exercise
+pathological interleavings).  :meth:`TreeCounters.node` returns a live
+:class:`_NodeView` onto the row with full sequence semantics, so callers
+that mutate nodes in place keep working unchanged.  Hash paths are
+memoized in an LRU cache *shared across sessions and tree instances* with
+the same ``(seed, width, depth)`` — the per-run tree seed is fixed, so a
+packet's path never changes and the blake2b work is paid once per entry.
 """
 
 from __future__ import annotations
 
+from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional
 
@@ -29,6 +44,17 @@ __all__ = ["HashTreeParams", "HashTree", "TreeCounters", "NodePath"]
 #: A node is identified by the sequence of counter indices zoomed through
 #: to reach it; the root is the empty tuple.
 NodePath = tuple[int, ...]
+
+#: Bound on each shared hash-path cache (entries, not bytes).  Far above
+#: any experiment's entry count; the LRU only really evicts in adversarial
+#: synthetic workloads.
+HASH_PATH_CACHE_SIZE = 65536
+
+#: Shared hash-path caches, keyed by the parameters that fully determine
+#: the mapping: ``(seed, width, depth)``.  Two trees with the same key
+#: compute identical paths, so they can share memoized results across
+#: counting sessions, monitors, and experiment repetitions in-process.
+_SHARED_PATH_CACHES: dict[tuple[int, int, int], "OrderedDict[Any, tuple[int, ...]]"] = {}
 
 
 @dataclass(frozen=True)
@@ -86,12 +112,24 @@ class HashTree:
     indices.  Hash functions are seeded deterministically so that repeated
     experiments are reproducible, and differently per level so levels are
     independent.
+
+    Paths are memoized in a bounded LRU shared by every :class:`HashTree`
+    with the same ``(seed, width, depth)`` — the mapping is a pure
+    function of those three values, so cross-instance sharing is safe and
+    lets repeated sessions/repetitions skip the blake2b work entirely.
     """
 
-    def __init__(self, params: HashTreeParams, seed: int = 0):
+    def __init__(self, params: HashTreeParams, seed: int = 0,
+                 cache_size: int = HASH_PATH_CACHE_SIZE):
         self.params = params
         self.seed = seed
-        self._cache: dict[Any, tuple[int, ...]] = {}
+        self.cache_size = cache_size
+        key = (seed, params.width, params.depth)
+        cache = _SHARED_PATH_CACHES.get(key)
+        if cache is None:
+            cache = _SHARED_PATH_CACHES[key] = OrderedDict()
+        #: Shared memoized entry -> hash-path mapping (LRU-bounded).
+        self._cache = cache
 
     def level_hash(self, entry: Any, level: int) -> int:
         """H_level(entry) in [0, width)."""
@@ -100,11 +138,16 @@ class HashTree:
         return stable_hash(entry, self.seed * 1000 + level) % self.params.width
 
     def hash_path(self, entry: Any) -> tuple[int, ...]:
-        """The full hash path of an entry, root to leaf (cached)."""
-        path = self._cache.get(entry)
-        if path is None:
-            path = tuple(self.level_hash(entry, j) for j in range(self.params.depth))
-            self._cache[entry] = path
+        """The full hash path of an entry, root to leaf (memoized)."""
+        cache = self._cache
+        path = cache.get(entry)
+        if path is not None:
+            cache.move_to_end(entry)
+            return path
+        path = tuple(self.level_hash(entry, j) for j in range(self.params.depth))
+        cache[entry] = path
+        if len(cache) > self.cache_size:
+            cache.popitem(last=False)  # evict least-recently-used
         return path
 
     def entries_on_path(self, entries: Iterable[Any], prefix: tuple[int, ...]) -> list[Any]:
@@ -117,6 +160,66 @@ class HashTree:
         return [e for e in entries if self.hash_path(e)[:n] == prefix]
 
 
+class _NodeView:
+    """Live, list-like view of one node's counter row in the flat arena.
+
+    Supports the full read/write sequence protocol the zooming code and
+    tests use (indexing, iteration, ``len``, ``sum``, ``==`` against any
+    sequence).  The view stays valid across arena growth (the backing
+    ``array`` is extended in place), but like a raw register row it
+    aliases whatever the row currently holds — do not retain views across
+    ``deactivate``/``activate`` cycles.
+    """
+
+    __slots__ = ("_data", "_base", "_width")
+
+    def __init__(self, data: array, base: int, width: int):
+        self._data = data
+        self._base = base
+        self._width = width
+
+    def __len__(self) -> int:
+        return self._width
+
+    def _index(self, i: int) -> int:
+        if i < 0:
+            i += self._width
+        if not 0 <= i < self._width:
+            raise IndexError(f"counter index {i} out of range for width {self._width}")
+        return self._base + i
+
+    def __getitem__(self, i: int) -> int:
+        return self._data[self._index(i)]
+
+    def __setitem__(self, i: int, value: int) -> None:
+        self._data[self._index(i)] = value
+
+    def __iter__(self) -> Iterator[int]:
+        data, base = self._data, self._base
+        return iter(data[base:base + self._width])
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _NodeView):
+            other = list(other)
+        try:
+            n = len(other)
+        except TypeError:
+            return NotImplemented
+        if n != self._width:
+            return False
+        data, base = self._data, self._base
+        return all(data[base + i] == other[i] for i in range(self._width))
+
+    __hash__ = None  # mutable view
+
+    def tolist(self) -> list[int]:
+        data, base = self._data, self._base
+        return data[base:base + self._width].tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_NodeView({self.tolist()})"
+
+
 class TreeCounters:
     """Counter storage for one side of one counting session.
 
@@ -125,58 +228,169 @@ class TreeCounters:
     increments the counter at every level 0..L along its prefix chain
     (matching Figure 6b, where root counters keep being updated while a
     deeper node is being populated).
+
+    Storage is a single flat ``array('Q')`` of ``rows * width`` counters:
+    the root is row 0 forever, zoom nodes get rows from a free list and
+    are zeroed at activation.  The arena is preallocated to the Appendix
+    A.3 ``node_count()`` budget and doubles when exceeded.
     """
+
+    __slots__ = ("params", "packets", "_width", "_data", "_offsets", "_free", "_zero_row")
 
     def __init__(self, params: HashTreeParams):
         self.params = params
-        self.nodes: dict[NodePath, list[int]] = {(): [0] * params.width}
         self.packets = 0
+        width = params.width
+        self._width = width
+        rows = max(params.node_count(), 1)
+        #: One zeroed row, reused for zero-fills (slice assignment).
+        self._zero_row = array("Q", [0]) * width
+        self._data = self._zero_row * rows
+        #: Zoom path -> row index; the root is pinned to row 0.
+        self._offsets: dict[NodePath, int] = {(): 0}
+        #: Recycled row indices (popped LIFO).
+        self._free: list[int] = list(range(rows - 1, 0, -1))
+
+    # -- structure ----------------------------------------------------------
+
+    def _alloc_row(self) -> int:
+        if self._free:
+            return self._free.pop()
+        rows = len(self._data) // self._width
+        grow = max(rows, 1)
+        self._data.extend(self._zero_row * grow)  # in place: views stay valid
+        self._free.extend(range(rows + grow - 1, rows, -1))
+        return rows
 
     def activate_node(self, path: NodePath) -> None:
         """Materialize the node reached by zooming through ``path``."""
         if len(path) >= self.params.depth:
             raise ValueError(f"path {path} too deep for depth {self.params.depth}")
-        if path not in self.nodes:
-            self.nodes[path] = [0] * self.params.width
-
-    def increment_path(self, tag: tuple[int, ...]) -> None:
-        """Count a packet whose FANcY tag is ``tag`` (partial hash path)."""
-        self.packets += 1
-        for level in range(len(tag)):
-            node = self.nodes.get(tag[:level])
-            if node is not None:
-                node[tag[level]] += 1
-
-    def reset(self) -> None:
-        """Zero all counters, keeping the set of active nodes."""
-        for node in self.nodes.values():
-            for i in range(len(node)):
-                node[i] = 0
-        self.packets = 0
+        if path not in self._offsets:
+            row = self._alloc_row()
+            base = row * self._width
+            self._data[base:base + self._width] = self._zero_row  # rows recycle dirty
+            self._offsets[path] = row
 
     def deactivate_node(self, path: NodePath) -> None:
         """Free the single node at ``path`` (the root cannot be freed)."""
         if path != ():
-            self.nodes.pop(path, None)
+            row = self._offsets.pop(path, None)
+            if row is not None:
+                self._free.append(row)
 
     def deactivate_below(self, path: NodePath) -> None:
         """Free the node at ``path`` and all its descendants (zoom retreat)."""
         doomed = [
-            p for p in self.nodes
+            p for p in self._offsets
             if len(p) >= max(len(path), 1) and p[: len(path)] == path
         ]
         for p in doomed:
-            del self.nodes[p]
+            self._free.append(self._offsets.pop(p))
 
-    def node(self, path: NodePath) -> Optional[list[int]]:
-        return self.nodes.get(path)
+    def clear(self) -> None:
+        """Drop every zoom node and zero the root — a fresh session's state.
+
+        Equivalent to constructing a new :class:`TreeCounters` but reuses
+        the arena (the receiver calls this at every session start).
+        """
+        offsets = self._offsets
+        if len(offsets) > 1:
+            self._free.extend(row for p, row in offsets.items() if p != ())
+            offsets.clear()
+            offsets[()] = 0
+        self._data[0:self._width] = self._zero_row
+        self.packets = 0
+
+    def reset(self) -> None:
+        """Zero all counters, keeping the set of active nodes."""
+        data, width, zero = self._data, self._width, self._zero_row
+        for row in self._offsets.values():
+            base = row * width
+            data[base:base + width] = zero
+        self.packets = 0
+
+    # -- counting -----------------------------------------------------------
+
+    def increment_path(self, tag: tuple[int, ...]) -> None:
+        """Count a packet whose FANcY tag is ``tag`` (partial hash path)."""
+        self.packets += 1
+        data, offsets, width = self._data, self._offsets, self._width
+        for level in range(len(tag)):
+            row = offsets.get(tag[:level])
+            if row is not None:
+                data[row * width + tag[level]] += 1
+
+    def count_pipelined(self, tag: tuple[int, ...]) -> None:
+        """Hot path: root + deepest-frontier increments for one tag.
+
+        The §4.2 pipelined counting model — the root counter named by
+        ``tag[0]`` always counts, and a tag longer than 1 additionally
+        counts in the frontier node ``tag[:-1]`` (if active).
+        """
+        self.packets += 1
+        data = self._data
+        data[tag[0]] += 1  # root is pinned to row 0
+        if len(tag) > 1:
+            row = self._offsets.get(tag[:-1])
+            if row is not None:
+                data[row * self._width + tag[-1]] += 1
+
+    def count_staged(self, tag: tuple[int, ...]) -> None:
+        """Hot path: frontier-only increment (non-pipelined zoom stages)."""
+        self.packets += 1
+        row = self._offsets.get(tag[:-1])
+        if row is not None:
+            self._data[row * self._width + tag[-1]] += 1
+
+    def count_pipelined_materialize(self, tag: tuple[int, ...]) -> None:
+        """Receiver hot path: like :meth:`count_pipelined`, but the
+        frontier node named by the tag is activated on first reference —
+        the downstream materializes nodes purely from tags (§4.2)."""
+        self.packets += 1
+        data = self._data
+        data[tag[0]] += 1
+        if len(tag) > 1:
+            node_path = tag[:-1]
+            row = self._offsets.get(node_path)
+            if row is None:
+                self.activate_node(node_path)
+                row = self._offsets[node_path]
+            data[row * self._width + tag[-1]] += 1
+
+    def count_staged_materialize(self, tag: tuple[int, ...]) -> None:
+        """Receiver hot path for non-pipelined zoom stages."""
+        self.packets += 1
+        node_path = tag[:-1]
+        row = self._offsets.get(node_path)
+        if row is None:
+            self.activate_node(node_path)
+            row = self._offsets[node_path]
+        self._data[row * self._width + tag[-1]] += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def node(self, path: NodePath) -> Optional[_NodeView]:
+        row = self._offsets.get(path)
+        if row is None:
+            return None
+        return _NodeView(self._data, row * self._width, self._width)
+
+    @property
+    def nodes(self) -> dict[NodePath, _NodeView]:
+        """Mapping view of all active nodes (live counter views)."""
+        data, width = self._data, self._width
+        return {p: _NodeView(data, row * width, width)
+                for p, row in self._offsets.items()}
 
     def active_paths(self) -> Iterator[NodePath]:
-        return iter(self.nodes)
+        return iter(self._offsets)
 
     def snapshot(self) -> dict[NodePath, list[int]]:
         """Copy of all counters — the payload of a Report message."""
-        return {path: list(counters) for path, counters in self.nodes.items()}
+        data, width = self._data, self._width
+        return {p: data[row * width:(row + 1) * width].tolist()
+                for p, row in self._offsets.items()}
 
     def mismatches(
         self, remote: dict[NodePath, list[int]], path: NodePath
@@ -188,12 +402,18 @@ class TreeCounters:
         packets lost on the wire.  Counters are never incremented by the
         downstream beyond the upstream value on a FIFO loss-only link.
         """
-        local = self.nodes.get(path)
-        if local is None:
+        row = self._offsets.get(path)
+        if row is None:
             return []
-        remote_node = remote.get(path, [0] * self.params.width)
-        return [
-            (i, local[i] - remote_node[i])
-            for i in range(self.params.width)
-            if local[i] > remote_node[i]
-        ]
+        data, width = self._data, self._width
+        base = row * width
+        remote_node = remote.get(path)
+        if remote_node is None:
+            # Missing remote node: every sent packet counts as lost.
+            return [(i, data[base + i]) for i in range(width) if data[base + i]]
+        out = []
+        for i in range(width):
+            local = data[base + i]
+            if local > remote_node[i]:
+                out.append((i, local - remote_node[i]))
+        return out

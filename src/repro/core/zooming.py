@@ -156,10 +156,16 @@ class TreeSenderStrategy:
 
     def _tag_for(self, hp: tuple[int, ...]) -> Optional[tuple[int, ...]]:
         if self.params.pipelined or self.stage == 0:
+            frontier = self.frontier
+            if not frontier:
+                # Common case in healthy operation: nothing has zoomed, so
+                # every packet tags at the root level.  Skips depth-1 slice
+                # + set lookups per packet.
+                return hp[:1]
             # Deepest active frontier node along the packet's hash path.
             deepest = 0
             for level in range(1, self.params.depth):
-                if hp[:level] in self.frontier:
+                if hp[:level] in frontier:
                     deepest = level
             if deepest == 0:
                 return hp[:1]
@@ -171,20 +177,15 @@ class TreeSenderStrategy:
         return None
 
     def _count(self, tag: tuple[int, ...]) -> None:
-        """Increment root + frontier-node counters for a tag (both modes)."""
-        self.counters.packets += 1
+        """Increment root + frontier-node counters for a tag (both modes).
+
+        Delegates to the flat-array hot paths of :class:`TreeCounters`
+        (one or two ``row * width + idx`` register updates per packet).
+        """
         if self.params.pipelined or self.stage == 0:
-            root = self.counters.node(())
-            if root is not None:
-                root[tag[0]] += 1
-            if len(tag) > 1:
-                node = self.counters.node(tag[:-1])
-                if node is not None:
-                    node[tag[-1]] += 1
+            self.counters.count_pipelined(tag)
         else:
-            node = self.counters.node(tag[:-1])
-            if node is not None:
-                node[tag[-1]] += 1
+            self.counters.count_staged(tag)
 
     def end_session(self, remote: dict[NodePath, list[int]], session_id: int) -> list[FailureReport]:
         """Compare against the downstream snapshot and advance the zoom."""
@@ -379,7 +380,8 @@ class TreeReceiverStrategy:
 
     def begin_session(self, session_id: int) -> None:
         # Fresh session: drop all zoom nodes, keep (and zero) the root.
-        self.counters = TreeCounters(self.params)
+        # clear() reuses the flat counter arena instead of reallocating.
+        self.counters.clear()
 
     def process_packet(self, packet: Packet, session_id: int) -> bool:
         if packet.tag is None or packet.tag_dedicated:
@@ -387,22 +389,10 @@ class TreeReceiverStrategy:
         if packet.tag_session != session_id:
             return False  # stale tag from a closed session
         tag = packet.tag
-        self.counters.packets += 1
         if self.params.pipelined or len(tag) == 1:
-            root = self.counters.node(())
-            root[tag[0]] += 1
-            if len(tag) > 1:
-                node = self.counters.node(tag[:-1])
-                if node is None:
-                    self.counters.activate_node(tag[:-1])
-                    node = self.counters.node(tag[:-1])
-                node[tag[-1]] += 1
+            self.counters.count_pipelined_materialize(tag)
         else:
-            node = self.counters.node(tag[:-1])
-            if node is None:
-                self.counters.activate_node(tag[:-1])
-                node = self.counters.node(tag[:-1])
-            node[tag[-1]] += 1
+            self.counters.count_staged_materialize(tag)
         return True
 
     def snapshot(self) -> dict[NodePath, list[int]]:

@@ -4,8 +4,13 @@ This package is the reproduction's stand-in for ns-3: an event engine,
 links with bandwidth/delay/loss, P4-like switches with ingress/egress hook
 points around a traffic manager, a Reno-style TCP, CBR UDP sources, and
 ready-made evaluation topologies.
+
+Performance: the dataplane has a reference path and an equivalence-tested
+fast path (fused link events, packet pooling, UDP packet trains) governed
+by :mod:`repro.simulator.fastpath`; see ``docs/PERFORMANCE.md``.
 """
 
+from . import fastpath
 from .apps import FlowGenerator, Host, ThroughputMeter
 from .engine import EventHandle, SimulationError, Simulator
 from .failures import (
@@ -17,8 +22,8 @@ from .failures import (
     PacketPropertyFailure,
     UniformLossFailure,
 )
-from .link import Link, connect_duplex
-from .packet import FANCY_TAG_BYTES, MIN_FRAME_BYTES, Packet, PacketKind
+from .link import Link, LinkStats, connect_duplex
+from .packet import FANCY_TAG_BYTES, MIN_FRAME_BYTES, POOL, Packet, PacketKind, PacketPool
 from .switch import Node, Switch
 from .tcp import DEFAULT_RTO, TcpFlow, TcpSink
 from .topology import ChainTopology, StarTopology, TwoSwitchTopology
@@ -31,10 +36,14 @@ __all__ = [
     "EventHandle",
     "Packet",
     "PacketKind",
+    "PacketPool",
+    "POOL",
     "FANCY_TAG_BYTES",
     "MIN_FRAME_BYTES",
     "Link",
+    "LinkStats",
     "connect_duplex",
+    "fastpath",
     "Node",
     "Switch",
     "Host",

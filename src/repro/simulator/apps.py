@@ -17,7 +17,7 @@ import random
 from typing import Any, Callable, Optional
 
 from .engine import Simulator
-from .packet import Packet, PacketKind
+from .packet import POOL, Packet, PacketKind
 from .switch import Node
 from .tcp import TcpFlow, TcpSink
 
@@ -40,12 +40,29 @@ class Host(Node):
         self.access_port = 0
         self.packets_received = 0
         self.bytes_received = 0
+        #: Access link cache (hosts are single-homed); filled by
+        #: attach_link so send() skips the per-packet port lookup.
+        self._access_link = None
         #: Optional tap on every received packet (for throughput meters).
         self.rx_tap: Optional[Callable[[Packet], None]] = None
 
+    def attach_link(self, port: int, link) -> None:
+        super().attach_link(port, link)
+        if port == self.access_port:
+            self._access_link = link
+
     def send(self, packet: Packet) -> None:
-        """Transmit via the access port (hosts are single-homed)."""
-        self.transmit(packet, self.access_port)
+        """Transmit via the access port (hosts are single-homed).
+
+        ``send`` runs once per originated packet (every TCP data segment
+        and ACK), so the access link is cached instead of looked up
+        through ``transmit``'s port dict on each call.
+        """
+        link = self._access_link
+        if link is None:  # not wired yet: fall back for the error message
+            self.transmit(packet, self.access_port)
+            return
+        link.send(packet)
 
     def register_flow(self, flow: TcpFlow) -> None:
         self.flows[flow.flow_id] = flow
@@ -70,6 +87,13 @@ class Host(Node):
             if sink is not None:
                 sink.on_data(packet)
         # Control packets addressed to a host are ignored.
+        # The host is the packet's terminus: hand it back to the pool (a
+        # no-op unless pooling is enabled via repro.simulator.fastpath).
+        # The rx_tap above ran before release, so taps that *read* packets
+        # are always safe; taps that *retain* them must leave the pool off
+        # (the default).
+        if POOL.enabled:
+            packet.release()
 
 
 class FlowGenerator:

@@ -8,6 +8,18 @@ convenience helpers (periodic events, run-until predicates).
 Events scheduled for the same timestamp fire in FIFO order, which the
 protocol state machines rely on for determinism.
 
+Fast path: the engine keeps the uninstrumented dispatch a bare
+``callback(*args)``.  ``run()`` inlines the heap pop (no ``peek_time`` /
+``step`` double traversal), heap entries are plain ``(time, seq, handle)``
+tuples — every sift comparison is a C-level tuple compare that resolves
+on ``(time, seq)`` before ever reaching the handle, instead of a
+Python-level ``EventHandle.__lt__`` call (the single hottest function of
+a packet-level run) — and the heap is compacted in place whenever more
+than half of its entries are cancelled handles: TCP retransmission
+timers cancel and re-arm on every ACK, which otherwise pins tens of
+thousands of dead handles in the heap of a long experiment.  See
+``docs/PERFORMANCE.md`` for the measurement methodology.
+
 Telemetry: pass a :class:`repro.telemetry.Telemetry` session to observe
 the event loop — ``sim_events_total``, the ``sim_queue_depth`` gauge,
 and (with ``profile=True`` on the session) a per-callback wall-time
@@ -25,6 +37,10 @@ from typing import Any, Callable, Optional
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
 
+#: Compaction trigger: at least this many cancelled handles *and* more
+#: than half the heap dead.  Small heaps are cheap to scan anyway.
+_COMPACT_MIN_CANCELLED = 512
+
 
 class SimulationError(RuntimeError):
     """Raised when the engine is used inconsistently (e.g. scheduling in the past)."""
@@ -33,24 +49,41 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """Handle to a scheduled event, usable to cancel it before it fires."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "owner")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        owner: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning simulator, used to account cancelled-but-pinned handles
+        #: for heap compaction.  ``None`` for detached proxy handles.
+        self.owner = owner
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._cancelled += 1
         # Drop references so cancelled events do not pin objects in memory
         # while they remain in the heap.
         self.callback = _noop
         self.args = ()
 
     def __lt__(self, other: "EventHandle") -> bool:
+        # Kept for API compatibility (sorting handles in user code); the
+        # engine's heap orders plain (time, seq, handle) tuples and never
+        # calls this — seq is unique, so tuple comparison stops before
+        # reaching the handle element.
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -89,12 +122,17 @@ class Simulator:
     """
 
     def __init__(self, telemetry: Optional[Any] = None) -> None:
-        self._queue: list[EventHandle] = []
+        #: Binary heap of (time, seq, handle) entries; see module docstring.
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Cancelled handles still sitting in the heap (compaction trigger).
+        self._cancelled = 0
+        #: Heap compactions performed (observability / tests).
+        self.compactions = 0
         self._telemetry = None
         self._profile = False
         self._m_events = None
@@ -103,7 +141,11 @@ class Simulator:
             self.bind_telemetry(telemetry)
 
     def bind_telemetry(self, telemetry: Any) -> None:
-        """Attach a telemetry session (pre-binds the hot-path instruments)."""
+        """Attach a telemetry session (pre-binds the hot-path instruments).
+
+        Bind before calling :meth:`run`: the run loop snapshots the
+        telemetry binding once on entry for speed.
+        """
         self._telemetry = telemetry
         self._profile = bool(getattr(telemetry, "profile", False))
         metrics = telemetry.metrics
@@ -118,10 +160,22 @@ class Simulator:
         return self._now
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        The body mirrors :meth:`schedule_at` rather than delegating to
+        it: this is the most frequently called engine entry point, and
+        the extra frame is measurable at packet rates.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        if (self._cancelled > _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._queue)):
+            self.compact()
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run at absolute simulated ``time``."""
@@ -129,9 +183,32 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        if (self._cancelled > _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._queue)):
+            self.compact()
         return handle
+
+    def compact(self) -> int:
+        """Drop cancelled handles from the heap (in place) and re-heapify.
+
+        Returns the number of handles removed.  Called automatically from
+        :meth:`schedule_at` when more than half the heap is dead; safe to
+        call manually at any point (including from within a running
+        simulation — the heap list identity is preserved).
+        """
+        queue = self._queue
+        before = len(queue)
+        live = [entry for entry in queue if not entry[2].cancelled]
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled = 0
+        removed = before - len(live)
+        if removed:
+            self.compactions += 1
+        return removed
 
     def schedule_periodic(
         self,
@@ -172,17 +249,21 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next pending event, or ``None`` if idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        return queue[0][0] if queue else None
 
     def step(self) -> bool:
         """Process the single next event.  Returns False when queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _, handle = heapq.heappop(queue)
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = handle.time
+            self._now = time
             if self._telemetry is not None:
                 self._step_instrumented(handle)
             else:
@@ -214,19 +295,35 @@ class Simulator:
         When ``until`` is given, the clock is advanced to exactly ``until``
         on return even if the queue drained earlier, so that measurements
         taken "at the end of the experiment" see a consistent timestamp.
+
+        The uninstrumented loop is inlined: one heap pop per event (no
+        ``peek_time``/``step`` double traversal) and a bare
+        ``callback(*args)`` dispatch.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
+        queue = self._queue  # compact() preserves the list identity
+        pop = heapq.heappop
+        instrumented = self._telemetry is not None
         try:
-            while self._queue and not self._stopped:
-                next_time = self.peek_time()
-                if next_time is None:
+            while queue and not self._stopped:
+                head = queue[0]
+                handle = head[2]
+                if handle.cancelled:
+                    pop(queue)
+                    self._cancelled -= 1
+                    continue
+                if until is not None and head[0] > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                pop(queue)
+                self._now = head[0]
+                if instrumented:
+                    self._step_instrumented(handle)
+                else:
+                    handle.callback(*handle.args)
+                self.events_processed += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -237,11 +334,18 @@ class Simulator:
         self._stopped = True
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        Also rewinds the event sequence counter, so same-timestamp
+        tie-break order (and hence traces) after a reset is identical to
+        a freshly constructed simulator.
+        """
         self._queue.clear()
+        self._seq = itertools.count()
         self._now = 0.0
         self._stopped = False
         self.events_processed = 0
+        self._cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={len(self._queue)})"

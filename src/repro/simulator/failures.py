@@ -70,8 +70,15 @@ class GrayFailure:
         raise NotImplementedError
 
     def __call__(self, packet: Packet, now: float) -> bool:
-        """Link loss-model protocol: return True to drop the packet."""
-        if not self.active(now):
+        """Link loss-model protocol: return True to drop the packet.
+
+        Runs once per packet crossing a failed link, so the activation
+        window from :meth:`active` is inlined (the method call itself is
+        measurable at packet rates; keep the two in sync).
+        """
+        if now < self.start_time:
+            return False
+        if self.end_time is not None and now >= self.end_time:
             return False
         if packet.kind.is_control and not self.affect_control:
             return False

@@ -10,6 +10,34 @@ matching the counter placement rationale of §3.
 Congestion losses are intentionally *not* modelled here: tail-drop happens
 in the switch traffic manager (see :mod:`repro.simulator.switch`), upstream
 of the FANcY egress counters, exactly as in the paper.
+
+Fast path (fused pipeline): in the reference path every packet costs two
+heap events — ``_finish_tx`` at the end of serialization, ``_deliver``
+after propagation.  When the link is *uncontended* (idle, both queues
+empty) and uninstrumented (no telemetry, no tracer), the two are fused
+into a single event at ``(now + tx_time) + delay`` that performs the
+depart accounting and the delivery in one callback; the wire loss is
+drawn at *send* time with the pinned departure timestamp.  Drawing at
+send time matters: it precedes every later packet's departure event, so
+per-link RNG draws stay in FIFO-by-departure order and the streams are
+identical to the reference path (drawing inside the arrival event would
+invert the order against packets queued behind the fused one).  Under
+contention the link falls back to the full pipeline, with a "kick" event
+at the in-flight packet's departure time so queued packets start
+serializing at exactly the reference instant.  The only observable
+difference is *bookkeeping latency*: ``stats`` for a fused packet are
+updated at delivery time (or at send time when it is dropped) rather
+than at departure time — the totals agree whenever the wire is quiet,
+e.g. after a drain.
+
+Fast path (burst coalescing): *instant* links (``bandwidth_bps=None``,
+the access links) have no serialization, so a burst of sends inside one
+callback — a UDP train, a TCP cwnd's worth of segments — yields several
+delivery events at exactly ``now + delay``.  In fused mode the link
+coalesces such a burst into one event that delivers every packet in
+order.  The engine serves equal timestamps FIFO, so per-link delivery
+instants and order are identical to the reference path; wire-loss draws
+are unaffected because the instant path draws at send time either way.
 """
 
 from __future__ import annotations
@@ -18,9 +46,15 @@ from collections import deque
 from typing import Any, Callable, Optional, Protocol
 
 from .engine import Simulator
+from .fastpath import CONFIG
 from .packet import Packet, PacketKind
 
 __all__ = ["Receiver", "Link", "LinkStats", "connect_duplex"]
+
+#: Control *responses* riding the strict-priority class (see Link.send);
+#: hoisted to module level so the per-packet membership test does not
+#: rebuild the tuple (or re-resolve the enum attributes) on every send.
+_PRIORITY_KINDS = (PacketKind.FANCY_START_ACK, PacketKind.FANCY_REPORT)
 
 
 class Receiver(Protocol):
@@ -62,6 +96,11 @@ class Link:
         delay_s: one-way propagation delay in seconds.
         loss_model: optional callable ``(packet, now) -> bool``; returning
             True drops the packet on the wire (a gray failure).
+        fused: enable the fused single-event pipeline on uncontended
+            sends; ``None`` (default) snapshots
+            :data:`repro.simulator.fastpath.CONFIG` at construction time.
+            Forced off while telemetry is attached or a
+            :class:`~repro.simulator.tracing.PacketTracer` wraps the link.
         telemetry: optional :class:`repro.telemetry.Telemetry`; when set,
             the link maintains ``link_tx_packets_total`` /
             ``link_tx_bytes_total`` / ``link_delivered_total`` /
@@ -79,6 +118,7 @@ class Link:
         loss_model: Optional[Callable[[Packet, float], bool]] = None,
         name: str = "",
         telemetry: Optional[Any] = None,
+        fused: Optional[bool] = None,
     ):
         self.sim = sim
         self.dst = dst
@@ -91,8 +131,24 @@ class Link:
         self._tx_queue: deque[Packet] = deque()
         self._ctrl_queue: deque[Packet] = deque()
         self._transmitting = False
+        #: Departure time of the in-flight *fused* packet; the link is
+        #: busy until then even though no _finish_tx event is pending.
+        self._busy_until = 0.0
+        self._kick_pending = False
+        #: Fused events in flight (observability for tests/benchmarks).
+        self.fused_events = 0
+        #: Open same-instant delivery on an instant link (fused mode):
+        #: the pending delivery's event handle and arrival timestamp.  A
+        #: second send with the same arrival instant converts the handle
+        #: into a burst delivery in place (see :meth:`send`).
+        self._burst_handle: Optional[Any] = None
+        self._burst_t = -1.0
+        #: Multi-packet bursts coalesced so far (observability).
+        self.coalesced_bursts = 0
+        self.fused = CONFIG.fused_links if fused is None else fused
         self._telemetry = telemetry
         if telemetry is not None:
+            self.fused = False  # instrumented links take the full pipeline
             metrics = telemetry.metrics
             self._m_tx = metrics.counter(
                 "link_tx_packets_total", "Packets that left the sender", link=self.name)
@@ -120,16 +176,123 @@ class Link:
         (§4.1's per-session consistency).
         """
         if self.bandwidth_bps is None:
-            self._depart(packet)
+            # Serialization disabled (access links): inline the depart
+            # accounting instead of paying the _depart frame — this runs
+            # once per packet on every host-to-switch hop.
+            stats = self.stats
+            stats.tx_packets += 1
+            stats.tx_bytes += packet.size
+            if self._telemetry is not None:
+                self._m_tx.inc()
+                self._m_tx_bytes.inc(packet.size)
+            if self.loss_model is not None and self.loss_model(packet, self.sim.now):
+                stats.dropped_failure += 1
+                if self._telemetry is not None:
+                    self._m_dropped.inc()
+                return
+            if self.fused:
+                # Same-instant burst coalescing: a UDP train (or any
+                # burst of sends from one callback) produces several
+                # deliveries at exactly now + delay.  The engine serves
+                # equal timestamps FIFO, so one event delivering the
+                # whole burst in order is indistinguishable from B
+                # per-packet events — same instants, same per-link
+                # order — at one heap entry instead of B.  Loss was
+                # already drawn above, at send time.
+                #
+                # The coalescing is *retroactive* so a lone packet (the
+                # common case on TCP access links) pays only two stores:
+                # the first send schedules a plain _deliver and remembers
+                # its handle; a second send with the same arrival instant
+                # rewrites that pending handle in place into a burst
+                # delivery and appends.  Delivery events seal the burst
+                # (reset _burst_t) so zero-delay sends from a later
+                # callback at the same timestamp open a fresh one.
+                arrival_t = self.sim.now + self.delay_s
+                if self._burst_t == arrival_t:
+                    handle = self._burst_handle
+                    head = handle.args[0]
+                    if head.__class__ is list:  # already a burst
+                        head.append(packet)
+                    else:
+                        handle.callback = self._deliver_burst
+                        handle.args = ([head, packet],)
+                        self.coalesced_bursts += 1
+                    return
+                self._burst_handle = self.sim.schedule(
+                    self.delay_s, self._deliver, packet)
+                self._burst_t = arrival_t
+                return
+            self.sim.schedule(self.delay_s, self._deliver, packet)
             return
-        if packet.kind in (PacketKind.FANCY_START_ACK, PacketKind.FANCY_REPORT):
+        now = self.sim.now
+        if (self.fused
+                and not self._transmitting
+                and now >= self._busy_until
+                and not self._tx_queue
+                and not self._ctrl_queue):
+            # Uncontended fast path: one event does serialize + propagate
+            # + deliver.  The departure timestamp is pinned now so the
+            # loss model sees the exact reference-path instant, and the
+            # arrival time is computed as (now + tx) + delay — the same
+            # float association order as the two-event reference path.
+            tx_time = packet.size * 8 / self.bandwidth_bps
+            depart_t = now + tx_time
+            self._busy_until = depart_t
+            self.fused_events += 1
+            # The wire-loss draw happens *here*, at send time, with the
+            # pinned departure timestamp.  Drawing inside the arrival
+            # event (depart + delay) would invert the per-link RNG order
+            # whenever a packet queued behind this one departs within the
+            # propagation delay — its _depart draw would fire first.
+            # Send time precedes every later packet's departure, so the
+            # draw sequence stays FIFO-by-departure, as on the reference
+            # path.
+            if self.loss_model is not None and self.loss_model(packet, depart_t):
+                stats = self.stats
+                stats.tx_packets += 1
+                stats.tx_bytes += packet.size
+                stats.dropped_failure += 1
+                # Fused implies untraced/untelemetried: nobody can
+                # observe the dropped packet, so recycle it immediately.
+                packet.release()
+                return
+            self.sim.schedule_at(depart_t + self.delay_s, self._fused_arrive,
+                                 packet, depart_t)
+            return
+        if packet.kind in _PRIORITY_KINDS:
             self._ctrl_queue.append(packet)
         else:
             self._tx_queue.append(packet)
-        if self._telemetry is not None:
-            self._m_depth.set(len(self._tx_queue) + len(self._ctrl_queue))
+        self._update_depth()
+        if not self._transmitting:
+            if now < self._busy_until:
+                # A fused packet is in flight; resume FIFO service at the
+                # exact instant its serialization finishes.
+                if not self._kick_pending:
+                    self._kick_pending = True
+                    self.sim.schedule(self._busy_until - now, self._kick)
+            else:
+                self._start_next()
+
+    def _kick(self) -> None:
+        """Resume queue service when an in-flight fused packet departs."""
+        self._kick_pending = False
         if not self._transmitting:
             self._start_next()
+
+    def _fused_arrive(self, packet: Packet, depart_t: float) -> None:
+        """Fused depart + deliver for an uncontended, not-dropped packet.
+
+        The wire-loss draw already happened at send time (see
+        :meth:`send`); ``depart_t`` is kept in the signature so traces of
+        scheduled events remain self-describing.
+        """
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += packet.size
+        stats.delivered += 1
+        self.dst.receive(packet, self.dst_port)
 
     def _start_next(self) -> None:
         if self._ctrl_queue:
@@ -140,6 +303,7 @@ class Link:
             self._transmitting = False
             return
         self._transmitting = True
+        self._update_depth()
         tx_time = packet.size * 8 / self.bandwidth_bps
         self.sim.schedule(tx_time, self._finish_tx, packet)
 
@@ -154,7 +318,6 @@ class Link:
         if self._telemetry is not None:
             self._m_tx.inc()
             self._m_tx_bytes.inc(packet.size)
-            self._m_depth.set(len(self._tx_queue) + len(self._ctrl_queue))
         if self.loss_model is not None and self.loss_model(packet, self.sim.now):
             self.stats.dropped_failure += 1
             if self._telemetry is not None:
@@ -162,15 +325,44 @@ class Link:
             return
         self.sim.schedule(self.delay_s, self._deliver, packet)
 
+    def _deliver_burst(self, burst: list[Packet]) -> None:
+        """Deliver a coalesced same-instant burst (instant links, fused).
+
+        Never runs instrumented: telemetry and tracing force ``fused``
+        off, which routes sends through the per-packet :meth:`_deliver`.
+        """
+        self._burst_t = -1.0  # seal: no more appends to this burst
+        stats = self.stats
+        dst = self.dst
+        port = self.dst_port
+        for packet in burst:
+            stats.delivered += 1
+            dst.receive(packet, port)
+
     def _deliver(self, packet: Packet) -> None:
+        # Seal any open burst tracking: with zero delay a send from a
+        # later event at this same timestamp must schedule afresh rather
+        # than append behind an already-fired delivery.  (For bandwidth
+        # links _burst_t is always -1 and the store is inert.)
+        self._burst_t = -1.0
         self.stats.delivered += 1
         if self._telemetry is not None:
             self._m_delivered.inc()
         self.dst.receive(packet, self.dst_port)
 
+    def _update_depth(self) -> None:
+        """Single point updating the telemetry queue-depth gauge."""
+        if self._telemetry is not None:
+            self._m_depth.set(len(self._tx_queue) + len(self._ctrl_queue))
+
     @property
     def queue_len(self) -> int:
-        return len(self._tx_queue)
+        """Total serialization-queue occupancy, data *and* control class.
+
+        Consumed by the switch TM for tail-drop admission and by
+        telemetry; both classes occupy the same physical port buffer.
+        """
+        return len(self._tx_queue) + len(self._ctrl_queue)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, delay={self.delay_s * 1e3:.3f}ms)"

@@ -159,20 +159,74 @@ class Switch(Node):
     # -- data plane ---------------------------------------------------------
 
     def receive(self, packet: Packet, in_port: int) -> None:
-        """Parser + ingress pipeline."""
-        self.stats.received += 1
-        if self._telemetry is not None:
+        """Parser + ingress pipeline + TM + egress pipeline, inlined.
+
+        This is the per-packet hot path (every forwarded packet runs it
+        once per hop), so the TM and egress stages are inlined here
+        rather than delegated to :meth:`_traffic_manager` /
+        :meth:`_egress` — the method-call chain and the duplicate
+        ``links`` lookup in :meth:`Node.transmit` are measurable at
+        packet rates.  Keep the logic in sync with those methods, which
+        remain the entry points for :meth:`inject` and for topology code
+        that feeds packets straight into an egress pipeline.
+        """
+        stats = self.stats
+        telemetry = self._telemetry
+        stats.received += 1
+        if telemetry is not None:
             self._m_received.inc()
-        for hook in self._ingress_hooks.get(in_port, ()):
-            if not hook(packet, in_port):
-                self.stats.consumed += 1
-                if self._telemetry is not None:
-                    self._m_consumed.inc()
-                return
-        self._traffic_manager(packet)
+        hooks = self._ingress_hooks.get(in_port)
+        if hooks is not None:
+            for hook in hooks:
+                if not hook(packet, in_port):
+                    stats.consumed += 1
+                    if telemetry is not None:
+                        self._m_consumed.inc()
+                    return
+        # -- TM: route lookup + tail-drop admission (see _traffic_manager).
+        out_port = None
+        if self.forwarding_override is not None:
+            out_port = self.forwarding_override(packet)
+        if out_port is None:
+            out_port = self.routes.get(packet.entry, self.default_port)
+        if out_port is None:
+            stats.dropped_no_route += 1
+            if telemetry is not None:
+                self._m_drop_route.inc()
+            return
+        link = self.links.get(out_port)
+        if link is None:
+            stats.dropped_no_route += 1
+            if telemetry is not None:
+                self._m_drop_route.inc()
+            return
+        if telemetry is not None:
+            self._m_tm_occupancy.observe(link.queue_len)
+        if self.tm_queue_packets is not None and \
+                len(link._tx_queue) + len(link._ctrl_queue) >= self.tm_queue_packets:
+            # Inlined link.queue_len (same definition): the property call
+            # is measurable at per-packet admission rates.
+            stats.dropped_tm += 1
+            if telemetry is not None:
+                self._m_drop_tm.inc()
+            return
+        # -- Egress pipeline (see _egress).
+        hooks = self._egress_hooks.get(out_port)
+        if hooks is not None:
+            for hook in hooks:
+                if not hook(packet, out_port):
+                    return
+        stats.forwarded += 1
+        if telemetry is not None:
+            self._m_forwarded.inc()
+        link.send(packet)
 
     def _traffic_manager(self, packet: Packet) -> None:
-        """TM: route lookup + tail-drop admission, then egress pipeline."""
+        """TM: route lookup + tail-drop admission, then egress pipeline.
+
+        The forwarding hot path inlines this logic in :meth:`receive`;
+        keep the two in sync.
+        """
         out_port = None
         if self.forwarding_override is not None:
             out_port = self.forwarding_override(packet)
@@ -199,14 +253,25 @@ class Switch(Node):
         self._egress(packet, out_port)
 
     def _egress(self, packet: Packet, out_port: int) -> None:
-        """Egress pipeline (after the TM): FANcY sender hooks live here."""
+        """Egress pipeline (after the TM): FANcY sender hooks live here.
+
+        Entry point for :meth:`inject` and for topology/rerouting code;
+        the forwarding hot path inlines the same logic in
+        :meth:`receive`.
+        """
         for hook in self._egress_hooks.get(out_port, ()):
             if not hook(packet, out_port):
                 return
         self.stats.forwarded += 1
         if self._telemetry is not None:
             self._m_forwarded.inc()
-        self.transmit(packet, out_port)
+        # Reverse-routed traffic (every ACK, via the topology ingress
+        # hooks) lands here too, so resolve the link once instead of
+        # paying transmit()'s second lookup.
+        link = self.links.get(out_port)
+        if link is None:
+            raise KeyError(f"{self.name}: no link on port {out_port}")
+        link.send(packet)
 
     def inject(self, packet: Packet, out_port: int) -> None:
         """Send a locally generated packet (e.g. a FANcY control message).

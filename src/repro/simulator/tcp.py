@@ -11,6 +11,12 @@ slow start, AIMD congestion avoidance, triple-duplicate-ACK fast
 retransmit, and a 200 ms retransmission timeout with exponential backoff
 (the paper's stated flow parameters).  Sequence numbers are in packets,
 not bytes — the counting logic only sees packet counts anyway.
+
+Fast path: data and ACK packets are allocated through
+:meth:`repro.simulator.packet.Packet.acquire`, so enabling the packet
+pool (:mod:`repro.simulator.fastpath`) recycles them through the free
+list; the sink side of :class:`repro.simulator.apps.Host` releases
+consumed packets.
 """
 
 from __future__ import annotations
@@ -86,6 +92,9 @@ class TcpFlow:
         self.retransmissions = 0
         self._pacing_interval = packet_size * 8 / rate_bps if rate_bps else 0.0
         self._rto_timer: Optional[EventHandle] = None
+        #: Authoritative expiry instant; the pending timer event may fire
+        #: earlier (it is re-armed lazily, see :meth:`_arm_rto`).
+        self._rto_deadline = 0.0
         self._pacing_timer: Optional[EventHandle] = None
         self._in_recovery = False
 
@@ -127,7 +136,7 @@ class TcpFlow:
                 self._pacing_timer = self.sim.schedule(self._pacing_interval, self._try_send)
 
     def _emit(self, seq: int, retransmission: bool = False) -> None:
-        packet = Packet(
+        packet = Packet.acquire(
             PacketKind.DATA,
             self.entry,
             self.packet_size,
@@ -143,11 +152,28 @@ class TcpFlow:
             self._arm_rto()
 
     def _arm_rto(self) -> None:
-        self._rto_timer = self.sim.schedule(self.rto, self._on_rto)
+        """Arm — or lazily extend — the retransmission timer.
+
+        Cancel-and-reschedule on every advancing ACK would churn one
+        dead heap handle per ACK (the single biggest source of cancelled
+        events in a TCP-heavy run).  Instead the authoritative deadline
+        is stored here, and a pending timer that fires early simply
+        re-arms itself at the current deadline without side effects.
+        The observable firing semantics are unchanged: a timeout is
+        acted on exactly at ``last-arm time + rto``.
+        """
+        self._rto_deadline = self.sim.now + self.rto
+        if self._rto_timer is None:
+            self._rto_timer = self.sim.schedule(self.rto, self._on_rto)
 
     def _on_rto(self) -> None:
         self._rto_timer = None
         if self.completed or self.high_acked >= self.total_packets:
+            return
+        if self.sim.now < self._rto_deadline:
+            # ACKs moved the deadline while this event was pending:
+            # lazy re-arm at the authoritative instant, no timeout.
+            self._rto_timer = self.sim.schedule_at(self._rto_deadline, self._on_rto)
             return
         # Timeout: multiplicative backoff, collapse window, go-back-N from
         # the cumulative ACK point (retransmit just the first missing one;
@@ -172,8 +198,6 @@ class TcpFlow:
             self.high_acked = ack
             self.dup_acks = 0
             self.rto = self.base_rto
-            self._cancel_timer(self._rto_timer)
-            self._rto_timer = None
             if self._in_recovery:
                 self.cwnd = self.ssthresh
                 self._in_recovery = False
@@ -249,7 +273,7 @@ class TcpSink:
         self._send_ack()
 
     def _send_ack(self) -> None:
-        ack = Packet(
+        ack = Packet.acquire(
             PacketKind.ACK,
             self.entry,
             ACK_SIZE,

@@ -97,7 +97,12 @@ class PacketTracer:
     # -- instrumentation ------------------------------------------------------
 
     def attach_link(self, link: Link) -> None:
-        """Record transmit/drop/deliver on a link (wraps its internals)."""
+        """Record transmit/drop/deliver on a link (wraps its internals).
+
+        Tracing needs the full serialize→propagate→deliver pipeline, so
+        the link's fused fast path is disabled for the link's lifetime.
+        """
+        link.fused = False  # the fused event would bypass _depart/_deliver
         original_depart = link._depart
         original_deliver = link._deliver
 
