@@ -221,10 +221,10 @@ class StrategyLinkMonitor:
         return True
 
     def _upstream_ingress(self, packet: Packet, _in_port: int) -> bool:
-        if packet.kind.is_control and packet.payload is not None:
-            if packet.payload.get("fsm") == self.sender.fsm_id:
-                self.sender.on_control(packet.kind, packet.payload)
-                return False
+        if (packet.kind.is_control and packet.payload is not None
+                and packet.payload.get("fsm") == self.sender.fsm_id):
+            self.sender.on_control(packet.kind, packet.payload)
+            return False
         return True
 
     def _downstream_ingress(self, packet: Packet, _in_port: int) -> bool:

@@ -16,6 +16,7 @@ as a live failure.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
@@ -163,9 +164,13 @@ def failure_for(
 
 
 def _random_size_predicate(seed: int):
-    """'Random sized packets': a size-class predicate derived from the seed."""
-    import random
+    """'Random sized packets': a size-class predicate derived from the seed.
 
+    Audited for FCY001: the RNG is a function-local seeded
+    ``random.Random`` (allowed); the previously function-local ``import
+    random`` is hoisted to module level so the factory is import-cost
+    free on the failure-injection path.
+    """
     rng = random.Random(seed)
     lo = rng.choice((64, 128, 256, 512))
 

@@ -95,9 +95,18 @@ def build_runtime(args: argparse.Namespace) -> RuntimeContext:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    args_list = list(sys.argv[1:] if argv is None else argv)
+    if args_list and args_list[0] == "lint":
+        # `fancy-repro lint [...]` delegates to the fancylint CLI, which
+        # owns its own flags (see docs/STATIC_ANALYSIS.md).
+        from .lint.cli import main as lint_main
+
+        return lint_main(args_list[1:])
+
     parser = argparse.ArgumentParser(
         prog="fancy-repro",
-        description="Regenerate the FANcY paper's tables and figures.",
+        description="Regenerate the FANcY paper's tables and figures "
+                    "(or run `fancy-repro lint` for the static-analysis gate).",
     )
     parser.add_argument(
         "experiment",
@@ -178,7 +187,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="also write each rendered artifact to DIR/<experiment>.txt",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(args_list)
     runtime = build_runtime(args)
 
     out_dir = None
@@ -190,7 +199,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        started = time.time()
+        # Durations use the monotonic clock (FCY002): time.time() can jump
+        # backwards under NTP adjustment and print negative runtimes.
+        started = time.monotonic()
         print(f"=== {name} ===")
         if name == "telemetry":
             # The telemetry summary writes extra machine-readable
@@ -201,7 +212,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             text = EXPERIMENTS[name](not args.full, runtime)
         if out_dir is not None and text:
             (out_dir / f"{name}.txt").write_text(text + "\n")
-        print(f"--- {name} done in {time.time() - started:.1f}s ---\n")
+        print(f"--- {name} done in {time.monotonic() - started:.1f}s ---\n")
     return 0
 
 

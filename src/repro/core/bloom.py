@@ -15,7 +15,8 @@ Two uses in the reproduction:
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Iterable
+from collections.abc import Iterator
+from typing import Any
 
 __all__ = ["BloomFilter", "CountingBloomFilter", "stable_hash"]
 
@@ -45,7 +46,7 @@ def stable_hash(value: Any, seed: int) -> int:
 class BloomFilter:
     """A standard Bloom filter over arbitrary hashable items."""
 
-    def __init__(self, n_cells: int = 100_000, n_hashes: int = 2, seed: int = 0):
+    def __init__(self, n_cells: int = 100_000, n_hashes: int = 2, seed: int = 0) -> None:
         if n_cells <= 0:
             raise ValueError("Bloom filter needs at least one cell")
         if n_hashes <= 0:
@@ -56,7 +57,7 @@ class BloomFilter:
         self.bits = bytearray((n_cells + 7) // 8)
         self.inserted = 0
 
-    def _indices(self, item: Any) -> Iterable[int]:
+    def _indices(self, item: Any) -> Iterator[int]:
         for j in range(self.n_hashes):
             yield stable_hash(item, self.seed + j) % self.n_cells
 
@@ -89,7 +90,8 @@ class CountingBloomFilter:
     positives per detection come from.
     """
 
-    def __init__(self, n_cells: int, n_hashes: int = 2, counter_bits: int = 32, seed: int = 0):
+    def __init__(self, n_cells: int, n_hashes: int = 2, counter_bits: int = 32,
+                 seed: int = 0) -> None:
         if n_cells <= 0:
             raise ValueError("counting Bloom filter needs at least one cell")
         self.n_cells = n_cells

@@ -16,7 +16,8 @@ touching the peer.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..simulator.packet import Packet
 
@@ -65,7 +66,7 @@ def by_field(getter: Callable[[Packet], Any], name: str = "field") -> EntryClass
         name: label used in the entry key.
     """
 
-    def classify(packet: Packet) -> tuple:
+    def classify(packet: Packet) -> tuple[Any, ...]:
         return (name, getter(packet))
 
     return classify
@@ -77,7 +78,7 @@ def compose(*classifiers: EntryClassifier) -> EntryClassifier:
     if not classifiers:
         raise ValueError("compose needs at least one classifier")
 
-    def classify(packet: Packet) -> tuple:
+    def classify(packet: Packet) -> tuple[Any, ...]:
         return tuple(c(packet) for c in classifiers)
 
     return classify

@@ -18,7 +18,8 @@ comparison of every session that overlapped a congested period.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from ..simulator.engine import Simulator
 from ..simulator.link import Link
@@ -46,16 +47,16 @@ class QueueGuard:
         switches: Iterable[Switch],
         threshold_packets: int = 50,
         sample_interval_s: float = 0.005,
-    ):
+    ) -> None:
         self.sim = sim
         self.switches = list(switches)
         self.threshold_packets = threshold_packets
         self.sample_interval_s = sample_interval_s
         #: Closed congestion intervals as (start, end) pairs.
         self.congested_intervals: list[tuple[float, float]] = []
-        self._congested_since: Optional[float] = None
+        self._congested_since: float | None = None
         self.samples = 0
-        self._handle = None
+        self._handle: Any | None = None
 
     def start(self) -> None:
         self._handle = self.sim.schedule_periodic(
@@ -112,7 +113,7 @@ class GuardedSenderStrategy:
         FancySender(sim, fsm_id, send, guarded, ...)
     """
 
-    def __init__(self, inner, guard: QueueGuard, sim: Simulator):
+    def __init__(self, inner: Any, guard: QueueGuard, sim: Simulator) -> None:
         self.inner = inner
         self.guard = guard
         self.sim = sim
@@ -123,7 +124,7 @@ class GuardedSenderStrategy:
         self._session_start = self.sim.now
         self.inner.begin_session(session_id)
 
-    def process_packet(self, packet, session_id: int) -> bool:
+    def process_packet(self, packet: Any, session_id: int) -> bool:
         return self.inner.process_packet(packet, session_id)
 
     def end_session(self, remote: Any, session_id: int) -> Any:
@@ -134,7 +135,7 @@ class GuardedSenderStrategy:
             return []
         return self.inner.end_session(remote, session_id)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Delegate introspection (flags, counters, ...) to the inner
         # strategy so monitors/tests can reach through the guard.
         return getattr(self.inner, name)

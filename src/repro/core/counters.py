@@ -18,7 +18,8 @@ numpy when available and the entry set is wide, in pure Python otherwise.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 try:  # numpy is a declared dependency, but keep the import soft.
     import numpy as _np
@@ -47,9 +48,9 @@ class DedicatedSenderCounters:
     def __init__(
         self,
         entries: Sequence[Any],
-        on_detection: Optional[DetectionCallback] = None,
-        entry_of: Optional[Callable[[Packet], Any]] = None,
-    ):
+        on_detection: DetectionCallback | None = None,
+        entry_of: Callable[[Packet], Any] | None = None,
+    ) -> None:
         self.index: dict[Any, int] = {e: i for i, e in enumerate(entries)}
         if len(self.index) != len(entries):
             raise ValueError("duplicate high-priority entries")
@@ -149,7 +150,7 @@ class DedicatedSenderCounters:
 class DedicatedReceiverCounters:
     """Downstream-side dedicated counters: driven purely by packet tags."""
 
-    def __init__(self, n_entries: int):
+    def __init__(self, n_entries: int) -> None:
         self.counters = [0] * n_entries
         self._zeros = [0] * n_entries
 

@@ -15,8 +15,9 @@ cannot provide (see ``examples/partial_deployment.py`` for the contrast).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Iterable, Optional
+from typing import Any
 
 from ..simulator.engine import Simulator
 from ..simulator.switch import Switch
@@ -57,9 +58,9 @@ class FancyDeployment:
         self,
         sim: Simulator,
         links: Iterable[LinkSpec],
-        config: Optional[FancyConfig] = None,
-        config_for: Optional[Callable[[LinkSpec], Optional[FancyConfig]]] = None,
-    ):
+        config: FancyConfig | None = None,
+        config_for: Callable[[LinkSpec], FancyConfig | None] | None = None,
+    ) -> None:
         self.sim = sim
         self.links = list(links)
         if not self.links:
@@ -67,7 +68,7 @@ class FancyDeployment:
         base = config or FancyConfig()
         self.monitors: dict[str, FancyLinkMonitor] = {}
         for i, link in enumerate(self.links):
-            link_config = None
+            link_config: FancyConfig | None = None
             if config_for is not None:
                 link_config = config_for(link)
             if link_config is None:
@@ -83,7 +84,7 @@ class FancyDeployment:
     @classmethod
     def on_chain(cls, sim: Simulator, switches: list[Switch],
                  forward_out_port: int = 1, forward_in_port: int = 2,
-                 config: Optional[FancyConfig] = None) -> "FancyDeployment":
+                 config: FancyConfig | None = None) -> "FancyDeployment":
         """Deploy on every forward link of a switch chain (the
         :class:`~repro.simulator.topology.ChainTopology` port layout)."""
         links = [

@@ -18,8 +18,9 @@ ChainTopology` detects failures anywhere on the path.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any
 
 from ..simulator.engine import Simulator
 from ..simulator.packet import MIN_FRAME_BYTES, Packet, PacketKind
@@ -56,7 +57,9 @@ def claim_monitored_port(switch: Switch, port: int) -> None:
             "(use separate simulations or a composed classifier instead)"
         )
     claimed.add(port)
-    switch._fancy_monitored_ports = claimed
+    # Duck-punched bookkeeping attribute: monitors claim ports across
+    # modules without Switch having to know about FANcY.
+    setattr(switch, "_fancy_monitored_ports", claimed)
 
 
 @dataclass
@@ -69,7 +72,7 @@ class FancyConfig:
     """
 
     high_priority: Sequence[Any] = field(default_factory=list)
-    tree_params: Optional[HashTreeParams] = field(
+    tree_params: HashTreeParams | None = field(
         default_factory=lambda: HashTreeParams(width=190, depth=3, split=2, pipelined=True)
     )
     dedicated_session_s: float = 0.050
@@ -83,7 +86,7 @@ class FancyConfig:
     #: the destination prefix (the evaluation's setting); root-cause
     #: analyses can install e.g. per-packet-size classifiers from
     #: :mod:`repro.core.classify` without touching the downstream switch.
-    classifier: Optional[EntryClassifier] = None
+    classifier: EntryClassifier | None = None
 
     @property
     def enable_dedicated(self) -> bool:
@@ -94,7 +97,7 @@ class FancyConfig:
         return self.tree_params is not None
 
     @classmethod
-    def from_monitoring_input(cls, spec, **overrides) -> "FancyConfig":
+    def from_monitoring_input(cls, spec: Any, **overrides: Any) -> "FancyConfig":
         """Build a config from an operator :class:`~repro.core.entries.
         MonitoringInput` via the §4.3 input translation.
 
@@ -124,10 +127,10 @@ class FancyLinkMonitor:
         up_port: int,
         downstream: Switch,
         down_port: int,
-        config: Optional[FancyConfig] = None,
-        log: Optional[FailureLog] = None,
-        telemetry: Optional[Any] = None,
-    ):
+        config: FancyConfig | None = None,
+        log: FailureLog | None = None,
+        telemetry: Any | None = None,
+    ) -> None:
         self.sim = sim
         self.upstream = upstream
         self.up_port = up_port
@@ -136,17 +139,17 @@ class FancyLinkMonitor:
         self.config = config or FancyConfig()
         self.log = log if log is not None else FailureLog()
         self.telemetry = telemetry
-        self._timeline = telemetry.timeline if telemetry is not None else None
+        self._timeline: Any = telemetry.timeline if telemetry is not None else None
         self._id = f"{upstream.name}->{downstream.name}"
         self._entry_of = self.config.classifier or by_prefix
 
         cfg = self.config
-        self.dedicated_sender: Optional[FancySender] = None
-        self.dedicated_receiver: Optional[FancyReceiver] = None
-        self.tree_sender: Optional[FancySender] = None
-        self.tree_receiver: Optional[FancyReceiver] = None
-        self.tree_strategy: Optional[TreeSenderStrategy] = None
-        self.dedicated_strategy: Optional[DedicatedSenderCounters] = None
+        self.dedicated_sender: FancySender | None = None
+        self.dedicated_receiver: FancyReceiver | None = None
+        self.tree_sender: FancySender | None = None
+        self.tree_receiver: FancyReceiver | None = None
+        self.tree_strategy: TreeSenderStrategy | None = None
+        self.dedicated_strategy: DedicatedSenderCounters | None = None
         self.output_flags = HashPathFlags(seed=cfg.seed)
 
         if cfg.enable_dedicated:
@@ -192,6 +195,7 @@ class FancyLinkMonitor:
         cfg = self.config
         fsm_id = f"{self._id}/tree"
         params = cfg.tree_params
+        assert params is not None  # _build_tree is gated on enable_tree
         report_size = max(
             MIN_FRAME_BYTES, (params.width * 32 * params.node_count()) // 8 + 30
         )
@@ -238,11 +242,13 @@ class FancyLinkMonitor:
 
     # -- control transport ---------------------------------------------------------
 
-    def _send_control_downstream(self, kind: PacketKind, payload: dict, size: int) -> None:
+    def _send_control_downstream(self, kind: PacketKind, payload: dict[str, Any],
+                                 size: int) -> None:
         packet = Packet(kind, entry=None, size=size, payload=payload)
         self.upstream.inject(packet, self.up_port)
 
-    def _send_control_upstream(self, kind: PacketKind, payload: dict, size: int) -> None:
+    def _send_control_upstream(self, kind: PacketKind, payload: dict[str, Any],
+                               size: int) -> None:
         packet = Packet(kind, entry=None, size=size, payload=payload, reverse=True)
         self.downstream.inject(packet, self.down_port)
 
@@ -256,12 +262,12 @@ class FancyLinkMonitor:
         claimed = False
         if self.dedicated_sender is not None:
             claimed = self.dedicated_sender.process_packet(packet)
-        if not claimed and self.tree_sender is not None:
-            # Only best-effort entries go to the tree; packets of dedicated
-            # entries outside a dedicated session stay uncounted.
-            if (self.dedicated_strategy is None
-                    or not self.dedicated_strategy.owns(self._entry_of(packet))):
-                self.tree_sender.process_packet(packet)
+        # Only best-effort entries go to the tree; packets of dedicated
+        # entries outside a dedicated session stay uncounted.
+        if (not claimed and self.tree_sender is not None
+                and (self.dedicated_strategy is None
+                     or not self.dedicated_strategy.owns(self._entry_of(packet)))):
+            self.tree_sender.process_packet(packet)
         return True
 
     def _upstream_ingress(self, packet: Packet, _in_port: int) -> bool:
@@ -346,7 +352,7 @@ class FancyLinkMonitor:
 
     # -- lifecycle --------------------------------------------------------------------------
 
-    def attach_congestion_guard(self, guard) -> None:
+    def attach_congestion_guard(self, guard: Any) -> None:
         """Discard sessions overlapping congested periods (§4.3 fn. 2).
 
         Only needed for partial deployments, where legacy switches' TM

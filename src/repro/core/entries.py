@@ -9,8 +9,9 @@ track at high priority (dedicated counters), the best-effort entries
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any
 
 __all__ = ["Priority", "MonitoringInput"]
 
@@ -37,8 +38,8 @@ class MonitoringInput:
         memory_bytes: per-port memory budget in bytes.
     """
 
-    high_priority: tuple = ()
-    best_effort: tuple = ()
+    high_priority: tuple[Any, ...] = ()
+    best_effort: tuple[Any, ...] = ()
     memory_bytes: int = 20 * 1024
 
     def __init__(
@@ -46,7 +47,7 @@ class MonitoringInput:
         high_priority: Iterable[Any] = (),
         best_effort: Iterable[Any] = (),
         memory_bytes: int = 20 * 1024,
-    ):
+    ) -> None:
         object.__setattr__(self, "high_priority", tuple(high_priority))
         object.__setattr__(self, "best_effort", tuple(best_effort))
         object.__setattr__(self, "memory_bytes", int(memory_bytes))

@@ -34,8 +34,9 @@ from __future__ import annotations
 
 from array import array
 from collections import OrderedDict
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any
 
 from .bloom import stable_hash
 
@@ -120,7 +121,7 @@ class HashTree:
     """
 
     def __init__(self, params: HashTreeParams, seed: int = 0,
-                 cache_size: int = HASH_PATH_CACHE_SIZE):
+                 cache_size: int = HASH_PATH_CACHE_SIZE) -> None:
         self.params = params
         self.seed = seed
         self.cache_size = cache_size
@@ -173,7 +174,7 @@ class _NodeView:
 
     __slots__ = ("_data", "_base", "_width")
 
-    def __init__(self, data: array, base: int, width: int):
+    def __init__(self, data: array[int], base: int, width: int) -> None:
         self._data = data
         self._base = base
         self._width = width
@@ -210,7 +211,7 @@ class _NodeView:
         data, base = self._data, self._base
         return all(data[base + i] == other[i] for i in range(self._width))
 
-    __hash__ = None  # mutable view
+    __hash__ = None  # type: ignore[assignment]  # mutable view
 
     def tolist(self) -> list[int]:
         data, base = self._data, self._base
@@ -237,7 +238,7 @@ class TreeCounters:
 
     __slots__ = ("params", "packets", "_width", "_data", "_offsets", "_free", "_zero_row")
 
-    def __init__(self, params: HashTreeParams):
+    def __init__(self, params: HashTreeParams) -> None:
         self.params = params
         self.packets = 0
         width = params.width
@@ -370,7 +371,7 @@ class TreeCounters:
 
     # -- queries ------------------------------------------------------------
 
-    def node(self, path: NodePath) -> Optional[_NodeView]:
+    def node(self, path: NodePath) -> _NodeView | None:
         row = self._offsets.get(path)
         if row is None:
             return None
@@ -411,7 +412,7 @@ class TreeCounters:
         if remote_node is None:
             # Missing remote node: every sent packet counts as lost.
             return [(i, data[base + i]) for i in range(width) if data[base + i]]
-        out = []
+        out: list[tuple[int, int]] = []
         for i in range(width):
             local = data[base + i]
             if local > remote_node[i]:

@@ -11,7 +11,6 @@ high-priority set cannot be supported (the paper's Figure 1 contract).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from .analysis import (
     DEDICATED_COUNTER_BITS,
@@ -49,7 +48,7 @@ class MemoryPlan:
     """
 
     n_dedicated: int
-    tree: Optional[HashTreeParams]
+    tree: HashTreeParams | None
     dedicated_bits: int
     tree_bits: int
     budget_bits: int
@@ -68,7 +67,7 @@ def plan_memory(
     depth: int = DEFAULT_DEPTH,
     split: int = DEFAULT_SPLIT,
     pipelined: bool = True,
-    width: Optional[int] = None,
+    width: int | None = None,
     min_width: int = 4,
 ) -> MemoryPlan:
     """Translate a :class:`MonitoringInput` into concrete structures.

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from .bloom import BloomFilter
 
@@ -45,7 +45,7 @@ class FailureReport:
     kind: FailureKind
     time: float
     entry: Any = None
-    hash_path: Optional[tuple[int, ...]] = None
+    hash_path: tuple[int, ...] | None = None
     lost_packets: int = 0
     session_id: int = -1
     port: int = -1
@@ -58,7 +58,7 @@ class HashPathFlags:
     :mod:`repro.apps.rerouting`.
     """
 
-    def __init__(self, n_cells: int = 100_000, seed: int = 0):
+    def __init__(self, n_cells: int = 100_000, seed: int = 0) -> None:
         # Tofino implementation: two 1-bit registers of 100K cells.
         self.filter = BloomFilter(n_cells=n_cells, n_hashes=2, seed=seed)
 
@@ -93,12 +93,12 @@ class FailureLog:
 
     def first_report(
         self,
-        kind: Optional[FailureKind] = None,
+        kind: FailureKind | None = None,
         entry: Any = None,
-        hash_path: Optional[tuple[int, ...]] = None,
-    ) -> Optional[FailureReport]:
+        hash_path: tuple[int, ...] | None = None,
+    ) -> FailureReport | None:
         """Earliest report matching all the given filters."""
-        best: Optional[FailureReport] = None
+        best: FailureReport | None = None
         for r in self.reports:
             if kind is not None and r.kind is not kind:
                 continue
@@ -110,7 +110,7 @@ class FailureLog:
                 best = r
         return best
 
-    def detection_time(self, failure_time: float, **filters: Any) -> Optional[float]:
+    def detection_time(self, failure_time: float, **filters: Any) -> float | None:
         """Delay between ``failure_time`` and the first matching report."""
         first = self.first_report(**filters)
         if first is None:

@@ -38,7 +38,7 @@ class DetectionProbabilityModel:
     """
 
     def __init__(self, session_s: float = 0.200, duty_cycle: float = 0.85,
-                 depth: int = 3):
+                 depth: int = 3) -> None:
         if not 0 < duty_cycle <= 1:
             raise ValueError("duty cycle must be in (0, 1]")
         if depth < 1:

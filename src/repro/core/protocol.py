@@ -33,7 +33,8 @@ truth for §5.3's control-overhead accounting, see
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Optional, Protocol
+from collections.abc import Callable
+from typing import Any, Protocol
 
 from ..simulator.engine import EventHandle, Simulator
 from ..simulator.packet import MIN_FRAME_BYTES, Packet, PacketKind
@@ -93,7 +94,7 @@ class ReceiverStrategy(Protocol):
 
 
 #: Sends a control message toward the peer: (kind, payload, size_bytes).
-ControlSender = Callable[[PacketKind, dict, int], None]
+ControlSender = Callable[[PacketKind, "dict[str, Any]", int], None]
 
 
 def _count_control(telemetry: Any, fsm_id: str, role: str, kind: PacketKind,
@@ -136,10 +137,10 @@ class FancySender:
         session_duration: float,
         rtx_timeout: float = DEFAULT_RTX_TIMEOUT,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-        on_link_failure: Optional[Callable[[str, float], None]] = None,
+        on_link_failure: Callable[[str, float], None] | None = None,
         report_size_bytes: int = MIN_FRAME_BYTES,
-        telemetry: Optional[Any] = None,
-    ):
+        telemetry: Any | None = None,
+    ) -> None:
         if session_duration <= 0:
             raise ValueError("session duration must be positive")
         self.sim = sim
@@ -158,7 +159,7 @@ class FancySender:
         self.session_id = 0
         self.attempts = 0
         self.sessions_completed = 0
-        self._timer: Optional[EventHandle] = None
+        self._timer: EventHandle | None = None
 
     def _set_state(self, new_state: SenderState) -> None:
         old_state = self.state
@@ -204,8 +205,9 @@ class FancySender:
         self._emit(PacketKind.FANCY_STOP, {})
         self._arm_timer(self._send_stop)
 
-    def _emit(self, kind: PacketKind, extra: dict, size: int = MIN_FRAME_BYTES) -> None:
-        payload = {"fsm": self.fsm_id, "session": self.session_id}
+    def _emit(self, kind: PacketKind, extra: dict[str, Any],
+              size: int = MIN_FRAME_BYTES) -> None:
+        payload: dict[str, Any] = {"fsm": self.fsm_id, "session": self.session_id}
         payload.update(extra)
         if self.telemetry is not None:
             _count_control(self.telemetry, self.fsm_id, "sender", kind, size,
@@ -239,7 +241,7 @@ class FancySender:
 
     # -- events ---------------------------------------------------------------
 
-    def on_control(self, kind: PacketKind, payload: dict) -> None:
+    def on_control(self, kind: PacketKind, payload: dict[str, Any]) -> None:
         """Handle a control message addressed to this FSM."""
         if payload.get("session") != self.session_id:
             return  # stale response from an earlier session
@@ -293,8 +295,8 @@ class FancyReceiver:
         strategy: ReceiverStrategy,
         twait: float = DEFAULT_TWAIT,
         report_size_bytes: int = MIN_FRAME_BYTES,
-        telemetry: Optional[Any] = None,
-    ):
+        telemetry: Any | None = None,
+    ) -> None:
         self.sim = sim
         self.fsm_id = fsm_id
         self.send_control = send_control
@@ -306,8 +308,8 @@ class FancyReceiver:
 
         self.state = ReceiverState.IDLE
         self.session_id = 0
-        self._last_report: Optional[dict] = None
-        self._timer: Optional[EventHandle] = None
+        self._last_report: dict[str, Any] | None = None
+        self._timer: EventHandle | None = None
 
     def _set_state(self, new_state: ReceiverState) -> None:
         old_state = self.state
@@ -319,7 +321,7 @@ class FancyReceiver:
                 **{"from": old_state.value, "to": new_state.value},
             )
 
-    def on_control(self, kind: PacketKind, payload: dict) -> None:
+    def on_control(self, kind: PacketKind, payload: dict[str, Any]) -> None:
         session = payload.get("session", -1)
         if kind is PacketKind.FANCY_START:
             if session > self.session_id:
@@ -346,11 +348,12 @@ class FancyReceiver:
                 # Keep counting for T_wait to catch delayed tagged packets.
                 self._set_state(ReceiverState.WAIT_TO_SEND)
                 self._timer = self.sim.schedule(self.twait, self._send_report)
-            elif session == self.session_id and self.state is ReceiverState.IDLE:
+            elif (session == self.session_id
+                    and self.state is ReceiverState.IDLE
+                    and self._last_report is not None):
                 # Retransmitted Stop: our Report was lost — resend it.
-                if self._last_report is not None:
-                    self._send(PacketKind.FANCY_REPORT, self._last_report,
-                               self.report_size_bytes)
+                self._send(PacketKind.FANCY_REPORT, self._last_report,
+                           self.report_size_bytes)
 
     def _send_report(self) -> None:
         self._timer = None
@@ -360,9 +363,9 @@ class FancyReceiver:
         self._set_state(ReceiverState.IDLE)
         self._send(PacketKind.FANCY_REPORT, self._last_report, self.report_size_bytes)
 
-    def _send(self, kind: PacketKind, extra: Optional[dict] = None,
+    def _send(self, kind: PacketKind, extra: dict[str, Any] | None = None,
               size: int = MIN_FRAME_BYTES) -> None:
-        payload = {"fsm": self.fsm_id, "session": self.session_id}
+        payload: dict[str, Any] = {"fsm": self.fsm_id, "session": self.session_id}
         if extra:
             payload.update(extra)
         if self.telemetry is not None:

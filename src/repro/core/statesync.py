@@ -15,7 +15,8 @@ FSMs are reused unchanged; only the value semantics differ.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..simulator.packet import Packet
 from .bloom import stable_hash
@@ -69,10 +70,10 @@ class ValueSyncSender:
         self,
         entries: Sequence[Any],
         reducer: ValueReducer = packet_count,
-        on_mismatch: Optional[MismatchCallback] = None,
+        on_mismatch: MismatchCallback | None = None,
         signed: bool = False,
-        entry_of: Optional[Callable[[Packet], Any]] = None,
-    ):
+        entry_of: Callable[[Packet], Any] | None = None,
+    ) -> None:
         self.entries = list(entries)
         self.index = {e: i for i, e in enumerate(self.entries)}
         if len(self.index) != len(self.entries):
@@ -102,7 +103,7 @@ class ValueSyncSender:
         return True
 
     def end_session(self, remote: Sequence[int], session_id: int) -> list[Any]:
-        detected = []
+        detected: list[Any] = []
         for i, local in enumerate(self.values):
             got = remote[i] if remote and i < len(remote) else 0
             delta = local - got
@@ -127,7 +128,7 @@ class ValueSyncReceiver:
     they share hash seeds.
     """
 
-    def __init__(self, n_entries: int, reducer: ValueReducer = packet_count):
+    def __init__(self, n_entries: int, reducer: ValueReducer = packet_count) -> None:
         self.reducer = reducer
         self.values = [0] * n_entries
 

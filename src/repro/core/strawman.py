@@ -26,7 +26,8 @@ rotate on a timer regardless of report outcomes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..simulator.engine import EventHandle, Simulator
 from ..simulator.packet import MIN_FRAME_BYTES, Packet, PacketKind
@@ -53,12 +54,12 @@ class StrawmanSender:
     def __init__(
         self,
         sim: Simulator,
-        send_control: Callable[[PacketKind, dict, int], None],
+        send_control: Callable[[PacketKind, dict[str, Any], int], None],
         entries: Sequence[Any],
         session_duration: float = 0.050,
         history: int = 2,
-        on_detection: Optional[DetectionCallback] = None,
-    ):
+        on_detection: DetectionCallback | None = None,
+    ) -> None:
         if history < 2:
             raise ValueError("strawman needs >= 2 counter sets (current + closed)")
         self.sim = sim
@@ -76,7 +77,7 @@ class StrawmanSender:
         self.flags = [False] * len(self.entries)
         self.sessions_lost = 0       # evicted before their report arrived
         self.sessions_checked = 0
-        self._timer: Optional[EventHandle] = None
+        self._timer: EventHandle | None = None
 
     @property
     def memory_counter_sets(self) -> int:
@@ -114,7 +115,7 @@ class StrawmanSender:
         self.sessions[self.session_id][idx] += 1
         return True
 
-    def on_report(self, payload: dict) -> None:
+    def on_report(self, payload: dict[str, Any]) -> None:
         """A downstream report carrying one or more session snapshots.
 
         Reports are cumulative over the receiver's retained history, so a
@@ -154,10 +155,10 @@ class StrawmanReceiver:
     def __init__(
         self,
         sim: Simulator,
-        send_control: Callable[[PacketKind, dict, int], None],
+        send_control: Callable[[PacketKind, dict[str, Any], int], None],
         n_entries: int,
         history: int = 2,
-    ):
+    ) -> None:
         self.sim = sim
         self.send_control = send_control
         self.n_entries = n_entries
@@ -215,15 +216,15 @@ class StrawmanLinkMonitor:
     def __init__(
         self,
         sim: Simulator,
-        upstream,
+        upstream: Any,
         up_port: int,
-        downstream,
+        downstream: Any,
         down_port: int,
         entries: Sequence[Any],
         session_duration: float = 0.050,
         history: int = 2,
-        on_detection: Optional[DetectionCallback] = None,
-    ):
+        on_detection: DetectionCallback | None = None,
+    ) -> None:
         self.sim = sim
         self.upstream = upstream
         self.up_port = up_port
@@ -243,12 +244,12 @@ class StrawmanLinkMonitor:
         downstream.add_ingress_hook(down_port, self._downstream_ingress, front=True)
 
     @staticmethod
-    def _noop_send(kind: PacketKind, payload: dict, size: int) -> None:
+    def _noop_send(kind: PacketKind, payload: dict[str, Any], size: int) -> None:
         # The strawman sender never sends control messages: sessions
         # rotate purely via packet tags.
         return None
 
-    def _send_upstream(self, kind: PacketKind, payload: dict, size: int) -> None:
+    def _send_upstream(self, kind: PacketKind, payload: dict[str, Any], size: int) -> None:
         self.downstream.inject(
             Packet(kind, entry=None, size=size, payload=payload, reverse=True),
             self.down_port,

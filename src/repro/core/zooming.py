@@ -37,7 +37,8 @@ mismatching once rerouted).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from ..simulator.packet import Packet
 from .hashtree import HashTree, HashTreeParams, NodePath, TreeCounters
@@ -59,16 +60,16 @@ class TreeSenderStrategy:
     def __init__(
         self,
         tree: HashTree,
-        on_report: Optional[ReportCallback] = None,
-        output_flags: Optional[HashPathFlags] = None,
+        on_report: ReportCallback | None = None,
+        output_flags: HashPathFlags | None = None,
         suppress_known: bool = True,
         seed: int = 0,
-        now_fn: Optional[Callable[[], float]] = None,
+        now_fn: Callable[[], float] | None = None,
         port: int = -1,
-        entry_of: Optional[Callable[[Packet], Any]] = None,
-        telemetry: Optional[Any] = None,
+        entry_of: Callable[[Packet], Any] | None = None,
+        telemetry: Any | None = None,
         name: str = "tree",
-    ):
+    ) -> None:
         self.tree = tree
         self.params: HashTreeParams = tree.params
         self.counters = TreeCounters(self.params)
@@ -81,9 +82,11 @@ class TreeSenderStrategy:
         #: Entry classifier (§1); defaults to the destination prefix.
         self.entry_of = entry_of if entry_of is not None else (lambda p: p.entry)
         self.name = name
-        self.telemetry = telemetry
-        self._timeline = telemetry.timeline if telemetry is not None else None
-        self._m_frontier = (
+        #: Plain ``Any`` (not ``Any | None``): attribute access is always
+        #: guarded by the ``_timeline`` check on the hot paths.
+        self.telemetry: Any = telemetry
+        self._timeline: Any = telemetry.timeline if telemetry is not None else None
+        self._m_frontier: Any = (
             telemetry.metrics.gauge(
                 "fancy_zoom_frontier", "Active zooming explorations", fsm=name)
             if telemetry is not None else None
@@ -99,7 +102,7 @@ class TreeSenderStrategy:
         self.sessions_completed = 0
         #: First time any zooming started (the paper's "technical"
         #: detection instant) and per-report bookkeeping.
-        self.first_zoom_time: Optional[float] = None
+        self.first_zoom_time: float | None = None
         self.uniform_reports = 0
 
     # -- helpers --------------------------------------------------------------
@@ -154,7 +157,7 @@ class TreeSenderStrategy:
         self._count(tag)
         return True
 
-    def _tag_for(self, hp: tuple[int, ...]) -> Optional[tuple[int, ...]]:
+    def _tag_for(self, hp: tuple[int, ...]) -> tuple[int, ...] | None:
         if self.params.pipelined or self.stage == 0:
             frontier = self.frontier
             if not frontier:
@@ -187,7 +190,8 @@ class TreeSenderStrategy:
         else:
             self.counters.count_staged(tag)
 
-    def end_session(self, remote: dict[NodePath, list[int]], session_id: int) -> list[FailureReport]:
+    def end_session(self, remote: dict[NodePath, list[int]],
+                    session_id: int) -> list[FailureReport]:
         """Compare against the downstream snapshot and advance the zoom."""
         reports = (
             self._end_session_pipelined(remote, session_id)
@@ -374,7 +378,7 @@ class TreeReceiverStrategy:
     first time a tag references them.
     """
 
-    def __init__(self, params: HashTreeParams):
+    def __init__(self, params: HashTreeParams) -> None:
         self.params = params
         self.counters = TreeCounters(params)
 

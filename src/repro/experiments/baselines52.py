@@ -31,6 +31,7 @@ from ..baselines.simple import (
 from ..core.analysis import max_dedicated_entries
 from ..core.detector import FancyConfig, FancyLinkMonitor
 from ..core.output import FailureKind
+from ..runtime.jobs import stable_seed
 from ..simulator.apps import FlowGenerator
 from ..simulator.engine import Simulator
 from ..simulator.failures import EntryLossFailure
@@ -57,7 +58,7 @@ class BaselineComparisonConfig:
 def _run_design(design: str, failed_prefix: str, cfg: BaselineComparisonConfig,
                 trace, sl) -> dict:
     t3 = cfg.table3
-    rng = random.Random((cfg.seed, design, failed_prefix).__repr__())
+    rng = random.Random(stable_seed(cfg.seed, design, failed_prefix))
     sim = Simulator()
     failure_time = rng.uniform(0.5, 2.0)
     failure = EntryLossFailure({failed_prefix}, cfg.loss_rate,

@@ -1,0 +1,44 @@
+"""``fancylint`` — repo-specific static analysis for the FANcY reproduction.
+
+The reproduction's correctness rests on two *runtime*-checked contracts:
+
+* the content-addressed result cache keys sweep cells by a job
+  fingerprint (``repro.runtime.jobs``) — anything non-deterministic that
+  leaks into a cell's computation silently poisons the cache;
+* the simulator fast path is proven equivalent to the reference path by
+  bit-identical RNG-draw-order tests
+  (``tests/simulator/test_fastpath_equivalence.py``) — a stray draw from
+  the *global* RNG, a wall-clock read, or an order-unstable set
+  iteration breaks that proof without failing any unit test.
+
+``fancylint`` turns those contracts into *compile-time* checks, the same
+way the P4 compiler statically rejects programs that exceed Tofino's
+stage/SRAM budget.  It is a small AST rule engine with six repo-specific
+rules (FCY001–FCY006, see :mod:`repro.lint.rules`), ruff-style
+``file:line:col: CODE message`` diagnostics with fix hints, per-line
+``# fancylint: disable=FCYnnn`` suppressions, and a checked-in baseline
+file for grandfathered findings.
+
+Run it as ``python -m repro.lint [paths...]`` or ``fancy-repro lint``.
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and policy.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry
+from .diagnostics import Diagnostic
+from .engine import LintResult, lint_file, lint_paths, lint_source
+from .rules import ALL_RULES, Rule, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "Diagnostic",
+    "LintResult",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule_catalog",
+]

@@ -1,0 +1,142 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets fancylint be adopted on a codebase with pre-existing
+findings without suppression comments on every line: ``--write-baseline``
+records the current findings' fingerprints; subsequent runs subtract any
+finding whose fingerprint matches a baseline entry.  New findings — even
+on the same line as a baselined one — still fail the run.
+
+Fingerprints hash ``(rule, path, stripped source line, occurrence
+index)`` (see :meth:`repro.lint.diagnostics.Diagnostic.fingerprint`), so
+the baseline survives unrelated edits elsewhere in the file; editing the
+offending line itself invalidates its entry, forcing a re-triage.
+
+The repo policy (``docs/STATIC_ANALYSIS.md``) is a shrink-only baseline:
+entries may be removed as findings are fixed, never added for new code —
+the checked-in ``.fancylint-baseline.json`` is empty.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+#: Default baseline location, resolved relative to the working directory.
+DEFAULT_BASELINE = ".fancylint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (human-readable context + fingerprint)."""
+
+    fingerprint: str
+    code: str
+    path: str
+    line_text: str
+
+    def to_json(self) -> dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "code": self.code,
+            "path": self.path,
+            "line_text": self.line_text,
+        }
+
+
+class Baseline:
+    """An in-memory set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: tuple[BaselineEntry, ...] = ()) -> None:
+        self.entries = entries
+        self._fingerprints = frozenset(entry.fingerprint for entry in entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._fingerprints
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> Baseline:
+        """Build a baseline grandfathering every given finding."""
+        entries = []
+        for diag, fingerprint in with_fingerprints(diagnostics):
+            entries.append(
+                BaselineEntry(
+                    fingerprint=fingerprint,
+                    code=diag.code,
+                    path=diag.path,
+                    line_text=diag.line_text,
+                )
+            )
+        return cls(tuple(entries))
+
+    def filter(self, diagnostics: list[Diagnostic]) -> tuple[list[Diagnostic], int]:
+        """Split findings into (new, number grandfathered)."""
+        fresh: list[Diagnostic] = []
+        matched = 0
+        for diag, fingerprint in with_fingerprints(diagnostics):
+            if fingerprint in self._fingerprints:
+                matched += 1
+            else:
+                fresh.append(diag)
+        return fresh, matched
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        """Read a baseline file; a missing file is an empty baseline."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        data = json.loads(file.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"{file}: unsupported fancylint baseline format")
+        entries = tuple(
+            BaselineEntry(
+                fingerprint=str(entry["fingerprint"]),
+                code=str(entry.get("code", "")),
+                path=str(entry.get("path", "")),
+                line_text=str(entry.get("line_text", "")),
+            )
+            for entry in data.get("entries", [])
+        )
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline (sorted, one entry per line — diff-friendly)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                entry.to_json()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.code, e.line_text)
+                )
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+def with_fingerprints(
+    diagnostics: list[Diagnostic],
+) -> list[tuple[Diagnostic, str]]:
+    """Pair each finding with its occurrence-disambiguated fingerprint.
+
+    Iterates in a deterministic order (diagnostics sorted by location) so
+    that the Nth identical line in a file always gets occurrence index N
+    regardless of rule execution order.
+    """
+    seen: Counter[tuple[str, str, str]] = Counter()
+    pairs: list[tuple[Diagnostic, str]] = []
+    for diag in sorted(diagnostics):
+        key = (diag.code, diag.path, diag.line_text)
+        pairs.append((diag, diag.fingerprint(occurrence=seen[key])))
+        seen[key] += 1
+    return pairs

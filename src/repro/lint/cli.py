@@ -1,0 +1,100 @@
+"""Command-line front end: ``python -m repro.lint`` / ``fancy-repro lint``.
+
+Exit status is 0 when no unbaselined findings remain, 1 otherwise —
+suitable as a CI gate (see the ``lint`` job in
+``.github/workflows/ci.yml``) and as a pre-commit hook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .engine import lint_paths
+from .rules import ALL_RULES, Rule, rule_catalog
+
+__all__ = ["main"]
+
+
+def _select_rules(spec: str | None) -> tuple[Rule, ...]:
+    if spec is None:
+        return ALL_RULES
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    known = {rule.code for rule in ALL_RULES}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(f"fancylint: unknown rule code(s): {', '.join(sorted(unknown))}")
+    return tuple(rule for rule in ALL_RULES if rule.code in wanted)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fancylint",
+        description="Repo-specific determinism & simulator-invariant checks "
+                    "for the FANcY reproduction (rules FCY001-FCY006).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line (diagnostics only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(rule_catalog())
+        return 0
+
+    rules = _select_rules(args.select)
+    baseline = None if (args.no_baseline or args.write_baseline) else Baseline.load(args.baseline)
+    result = lint_paths(list(args.paths), rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        Baseline.from_diagnostics(result.diagnostics).save(args.baseline)
+        if not args.quiet:
+            print(f"fancylint: wrote {len(result.diagnostics)} finding(s) "
+                  f"to {args.baseline}")
+        return 0
+
+    findings = result.parse_errors + result.diagnostics
+    if args.format == "json":
+        print(json.dumps([diag.to_json() for diag in findings], indent=2))
+    else:
+        for diag in findings:
+            print(diag.render())
+    if not args.quiet:
+        print(f"fancylint: {result.summary()}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

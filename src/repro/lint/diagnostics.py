@@ -1,0 +1,69 @@
+"""Diagnostic records and their ruff-style rendering.
+
+A :class:`Diagnostic` is one finding: rule code, location, message and an
+optional fix hint.  Rendering follows the ``file:line:col: CODE message``
+convention so editors and CI annotators that already understand ruff /
+flake8 output pick fancylint findings up for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        path: file the finding is in (as given to the engine).
+        line: 1-based source line.
+        col: 1-based source column (AST ``col_offset`` + 1).
+        code: rule code, e.g. ``"FCY001"``.
+        message: what is wrong, with the offending expression quoted.
+        hint: how to fix it (rendered after the message).
+        line_text: stripped source line, used for the location-independent
+            baseline fingerprint.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+    line_text: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """``path:line:col: CODE message (hint: ...)`` — one line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Location-independent identity for baseline matching.
+
+        Hashes ``(code, path, stripped source line, occurrence index)``:
+        stable when unrelated lines are inserted above the finding, and
+        disambiguated when the same violating line appears several times
+        in one file.
+        """
+        payload = json.dumps(
+            [self.code, self.path, self.line_text, occurrence],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_json(self) -> dict[str, object]:
+        """Machine-readable form for ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,160 @@
+"""File discovery and rule orchestration for fancylint.
+
+``lint_paths`` is the one-call API used by the CLI and the pre-commit
+hook: discover ``*.py`` files, parse each once, run every applicable
+rule, drop per-line suppressions, then subtract the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .diagnostics import Diagnostic
+from .rules import ALL_RULES, FileContext, Rule
+from .suppress import is_suppressed, parse_suppressions
+
+__all__ = ["LintResult", "lint_file", "lint_paths", "lint_source", "package_relative"]
+
+#: Directories never linted (caches, VCS internals, virtualenvs).
+_SKIP_DIRS = frozenset({
+    ".git", ".fancy-cache", "__pycache__", ".venv", "venv",
+    ".mypy_cache", ".ruff_cache", ".pytest_cache", "build", "dist",
+})
+
+
+def package_relative(path: str | Path) -> str | None:
+    """Path relative to the ``repro`` package root, if the file is in it.
+
+    ``src/repro/core/zooming.py`` -> ``core/zooming.py``; files outside
+    the package (tests, fixtures) return ``None`` and get every rule.
+    """
+    parts = Path(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1:])
+    return None
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_errors: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics and not self.parse_errors
+
+    def summary(self) -> str:
+        n = len(self.diagnostics) + len(self.parse_errors)
+        parts = [f"{n} finding{'s' if n != 1 else ''} in {self.files_checked} files"]
+        if self.suppressed:
+            parts.append(f"{self.suppressed} suppressed")
+        if self.baselined:
+            parts.append(f"{self.baselined} baselined")
+        return ", ".join(parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: tuple[Rule, ...] = ALL_RULES,
+    rel_path: str | None = None,
+    count_suppressed: list[int] | None = None,
+) -> list[Diagnostic]:
+    """Lint one source string; returns unsuppressed findings, sorted.
+
+    ``rel_path`` overrides the package-relative location used for rule
+    scoping (``None`` means "apply every rule", which is what fixtures
+    want); pass ``package_relative(path)`` for real files.
+
+    A ``SyntaxError`` is reported as a pseudo-diagnostic with code
+    ``FCY000`` rather than raised, so one broken file cannot hide other
+    files' findings in a big run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            code="FCY000",
+            message=f"file does not parse: {exc.msg}",
+            hint="fancylint needs a syntactically valid file",
+        )]
+    ctx = FileContext.for_tree(tree, path=path, rel_path=rel_path, source=source)
+    suppressions = parse_suppressions(source)
+    findings: list[Diagnostic] = []
+    n_suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(rel_path):
+            continue
+        for diag in rule.check(tree, ctx):
+            if is_suppressed(diag.code, diag.line, suppressions):
+                n_suppressed += 1
+            else:
+                findings.append(diag)
+    if count_suppressed is not None:
+        count_suppressed.append(n_suppressed)
+    return sorted(findings)
+
+
+def lint_file(path: str | Path, rules: tuple[Rule, ...] = ALL_RULES) -> list[Diagnostic]:
+    """Lint one file from disk (rule scoping from its package location)."""
+    file = Path(path)
+    source = file.read_text(encoding="utf-8")
+    return lint_source(source, path=str(file), rules=rules,
+                       rel_path=package_relative(file))
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a deterministic sorted file list."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    rules: tuple[Rule, ...] = ALL_RULES,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint files/directories; apply suppressions, then the baseline."""
+    result = LintResult()
+    all_findings: list[Diagnostic] = []
+    for file in iter_python_files(paths):
+        counter: list[int] = []
+        findings = lint_source(
+            file.read_text(encoding="utf-8"),
+            path=str(file),
+            rules=rules,
+            rel_path=package_relative(file),
+            count_suppressed=counter,
+        )
+        result.files_checked += 1
+        result.suppressed += sum(counter)
+        for diag in findings:
+            if diag.code == "FCY000":
+                result.parse_errors.append(diag)
+            else:
+                all_findings.append(diag)
+    if baseline is not None and len(baseline):
+        all_findings, matched = baseline.filter(all_findings)
+        result.baselined = matched
+    result.diagnostics = sorted(all_findings)
+    return result

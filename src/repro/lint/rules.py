@@ -1,0 +1,560 @@
+"""The fancylint rule catalog (FCY001–FCY006).
+
+Every rule guards one of the reproduction's determinism / simulator
+invariants (see the package docstring and ``docs/STATIC_ANALYSIS.md``):
+
+========  ==============================================================
+FCY001    module-level / global RNG use — only seeded ``random.Random``
+          or ``numpy`` ``Generator`` instances are deterministic per
+          sweep cell; the global RNG poisons the result cache and the
+          fastpath draw-order proof.  Also flags ``repr()``-derived seed
+          material (use :func:`repro.runtime.stable_seed`).
+FCY002    wall-clock reads (``time.time``, ``datetime.now``) in
+          simulation / fingerprint code paths — durations must use the
+          monotonic clock, simulated timestamps the engine's ``sim.now``.
+FCY003    iteration whose order depends on set iteration order (and thus
+          on ``PYTHONHASHSEED``) escaping into results or RNG draws.
+FCY004    blocking calls (``sleep``, file I/O, ``subprocess``, sockets)
+          inside the simulator/core packages, which run entirely inside
+          the discrete-event loop.
+FCY005    use of a pooled :class:`~repro.simulator.packet.Packet` after
+          ``packet.release()`` returned it to the free list.
+FCY006    ``==`` / ``!=`` on simulated-time floats outside the approved
+          helpers (ordering comparisons or ``math.isclose``).
+========  ==============================================================
+
+Rules are small :class:`ast.NodeVisitor` passes over a shared
+:class:`FileContext` that pre-resolves import aliases, so e.g.
+``import numpy as np; np.random.rand()`` and
+``from random import choice; choice(...)`` are both seen canonically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic
+
+__all__ = ["ALL_RULES", "FileContext", "Rule", "rule_catalog"]
+
+
+# --------------------------------------------------------------------------
+# shared context: import-alias resolution + diagnostic emission
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FileContext:
+    """Per-file state shared by all rule passes."""
+
+    path: str
+    #: Path relative to the ``repro`` package root (``core/zooming.py``),
+    #: or ``None`` for files outside the package (rule scoping then
+    #: defaults to "applies").
+    rel_path: str | None
+    lines: list[str]
+    #: local name -> canonical dotted module/object path.
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def for_tree(cls, tree: ast.AST, path: str, rel_path: str | None, source: str) -> FileContext:
+        ctx = cls(path=path, rel_path=rel_path, lines=source.splitlines())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    ctx.aliases[name.asname or name.name.split(".", 1)[0]] = (
+                        name.name if name.asname else name.name.split(".", 1)[0]
+                    )
+                    if name.asname:
+                        ctx.aliases[name.asname] = name.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    ctx.aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+        return ctx
+
+    def canonical(self, node: ast.expr) -> str | None:
+        """Dotted canonical name of an expression, through import aliases.
+
+        ``np.random.rand`` -> ``numpy.random.rand`` (with ``import numpy
+        as np``); ``choice`` -> ``random.choice`` (with ``from random
+        import choice``); plain builtins resolve to themselves.
+        """
+        parts: list[str] = []
+        cursor: ast.expr = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        base = self.aliases.get(cursor.id, cursor.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def diagnostic(
+        self, node: ast.AST, code: str, message: str, hint: str = ""
+    ) -> Diagnostic:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Diagnostic(
+            path=self.path,
+            line=lineno,
+            col=col,
+            code=code,
+            message=message,
+            hint=hint,
+            line_text=self.line_text(lineno),
+        )
+
+
+class Rule:
+    """Base class: one code, one summary, one scoped AST pass."""
+
+    code: str = "FCY000"
+    name: str = "base"
+    summary: str = ""
+    #: Package-relative path prefixes this rule applies to.  Files whose
+    #: location inside the ``repro`` package cannot be determined (e.g.
+    #: test fixtures) get every rule.
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, rel_path: str | None) -> bool:
+        if rel_path is None or not self.scope:
+            return True
+        return rel_path.startswith(self.scope)
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        raise NotImplementedError
+
+
+_SIM_SCOPE = ("core/", "simulator/", "experiments/", "traffic/")
+
+
+def _call_name(node: ast.Call, ctx: FileContext) -> str | None:
+    return ctx.canonical(node.func)
+
+
+# --------------------------------------------------------------------------
+# FCY001 — global / module-level RNG use
+# --------------------------------------------------------------------------
+
+#: ``random.<attr>`` calls that are fine: constructing an *instance*.
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
+#: ``numpy.random.<attr>`` calls that are fine: seeded generator factories.
+_ALLOWED_NP_RANDOM_ATTRS = frozenset({"default_rng", "Generator", "SeedSequence", "RandomState"})
+
+
+def _is_repr_derived(node: ast.expr) -> bool:
+    """True when the expression's value comes from ``repr``/``__repr__``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if isinstance(sub.func, ast.Attribute) and sub.func.attr == "__repr__":
+                return True
+            if isinstance(sub.func, ast.Name) and sub.func.id == "repr":
+                return True
+    return False
+
+
+class GlobalRngRule(Rule):
+    code = "FCY001"
+    name = "global-rng"
+    summary = (
+        "module-level RNG use; only seeded random.Random / numpy Generator "
+        "instances keep sweep cells deterministic"
+    )
+    scope = _SIM_SCOPE + ("catalog.py",)
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name is None:
+                continue
+            if name.startswith("random."):
+                attr = name.split(".", 1)[1]
+                if attr in _ALLOWED_RANDOM_ATTRS:
+                    if any(_is_repr_derived(arg) for arg in node.args):
+                        found.append(ctx.diagnostic(
+                            node, self.code,
+                            "RNG seed material derived via repr(); repr formatting "
+                            "is not a stable fingerprint",
+                            hint="derive seeds with repro.runtime.stable_seed(...)",
+                        ))
+                    continue
+                found.append(ctx.diagnostic(
+                    node, self.code,
+                    f"call to global RNG `{name}()`",
+                    hint="thread a seeded random.Random instance; seed it with "
+                         "repro.runtime.stable_seed",
+                ))
+            elif name.startswith("numpy.random.") or name.startswith("np.random."):
+                attr = name.split("random.", 1)[1].split(".", 1)[0]
+                if attr in _ALLOWED_NP_RANDOM_ATTRS:
+                    continue
+                found.append(ctx.diagnostic(
+                    node, self.code,
+                    f"call to global NumPy RNG `{name}()`",
+                    hint="use a numpy.random.Generator from default_rng(seed)",
+                ))
+        return found
+
+
+# --------------------------------------------------------------------------
+# FCY002 — wall-clock reads in simulation / fingerprint code paths
+# --------------------------------------------------------------------------
+
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+class WallClockRule(Rule):
+    code = "FCY002"
+    name = "wall-clock"
+    summary = (
+        "wall-clock read in simulation/fingerprint code; use the monotonic "
+        "clock for durations, sim.now for simulated timestamps"
+    )
+    scope = _SIM_SCOPE + ("runtime/jobs.py",)
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name in _WALL_CLOCK:
+                found.append(ctx.diagnostic(
+                    node, self.code,
+                    f"wall-clock call `{name}()` in a simulation/fingerprint code path",
+                    hint="use time.monotonic()/time.perf_counter() for durations "
+                         "or the simulated clock (sim.now)",
+                ))
+        return found
+
+
+# --------------------------------------------------------------------------
+# FCY003 — hash-order-dependent iteration escaping into results
+# --------------------------------------------------------------------------
+
+#: set methods returning another (unordered) set.
+_SET_COMBINATORS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+#: calls whose argument order escapes into the produced sequence.
+_ORDER_ESCAPES = frozenset({"list", "tuple", "enumerate", "iter"})
+#: order-insensitive consumers: iterating inside these is fine.
+_ORDER_SINKS = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset", "bool",
+})
+
+
+def _is_unordered(node: ast.expr, ctx: FileContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(node, ctx)
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_COMBINATORS:
+            return True
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    code = "FCY003"
+    name = "unordered-iteration"
+    summary = (
+        "iteration order of a set (PYTHONHASHSEED-dependent) escapes into "
+        "results, fingerprints, or RNG draw sequences"
+    )
+    scope = _SIM_SCOPE
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        order_sink_args: set[int] = set()
+        # First pass: remember unordered expressions consumed by
+        # order-insensitive sinks (sorted(set(...)) is the approved idiom).
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node, ctx)
+                if name in _ORDER_SINKS:
+                    for arg in node.args:
+                        order_sink_args.add(id(arg))
+            elif isinstance(node, ast.Compare):
+                # membership tests don't observe iteration order
+                for comparator in node.comparators:
+                    order_sink_args.add(id(comparator))
+
+        def flag(expr: ast.expr, where: str) -> None:
+            if id(expr) in order_sink_args:
+                return
+            if _is_unordered(expr, ctx):
+                found.append(ctx.diagnostic(
+                    expr, self.code,
+                    f"iteration over an unordered set expression {where}",
+                    hint="wrap in sorted(...) so the order is independent of "
+                         "PYTHONHASHSEED",
+                ))
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                flag(node.iter, "in a for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    flag(gen.iter, "in a comprehension")
+            elif isinstance(node, ast.Call):
+                name = _call_name(node, ctx)
+                is_join = isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                if (name in _ORDER_ESCAPES or is_join) and node.args:
+                    flag(node.args[0], f"passed to `{name or 'join'}()`")
+        return found
+
+
+# --------------------------------------------------------------------------
+# FCY004 — blocking calls inside the event-driven packages
+# --------------------------------------------------------------------------
+
+_BLOCKING_EXACT = frozenset({
+    "time.sleep", "os.system", "os.popen", "open", "input",
+})
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.", "urllib.")
+
+
+class BlockingCallRule(Rule):
+    code = "FCY004"
+    name = "blocking-call"
+    summary = (
+        "blocking call in repro.core/repro.simulator, which runs entirely "
+        "inside the discrete-event loop"
+    )
+    scope = ("core/", "simulator/")
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name is None:
+                continue
+            if name in _BLOCKING_EXACT or name.startswith(_BLOCKING_PREFIXES):
+                found.append(ctx.diagnostic(
+                    node, self.code,
+                    f"blocking call `{name}()` inside an event-driven package",
+                    hint="simulate delays with sim.schedule(...); do I/O in "
+                         "repro.runtime / experiment drivers instead",
+                ))
+        return found
+
+
+# --------------------------------------------------------------------------
+# FCY005 — pooled Packet retained past its release point
+# --------------------------------------------------------------------------
+
+
+def _own_nodes(stmt: ast.stmt) -> list[ast.AST]:
+    """AST nodes of a statement excluding nested statement blocks.
+
+    A ``release()`` inside an ``if`` branch must not be attributed to the
+    enclosing block — control may never enter that branch (or the branch
+    may ``return``), so only statements of the *same* block that follow
+    the release are definitely-after it.
+    """
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        for fieldname, value in ast.iter_fields(node):
+            if fieldname in ("body", "orelse", "finalbody", "handlers"):
+                continue  # nested blocks belong to their own scope
+            if isinstance(value, ast.AST):
+                stack.append(value)
+            elif isinstance(value, list):
+                stack.extend(v for v in value if isinstance(v, ast.AST))
+    return nodes
+
+
+def _released_names(stmt: ast.stmt) -> list[str]:
+    """Names ``x`` for which this statement itself calls ``x.release()``."""
+    names: list[str] = []
+    for node in _own_nodes(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"
+            and not node.args
+            and isinstance(node.func.value, ast.Name)
+        ):
+            names.append(node.func.value.id)
+    return names
+
+
+class UseAfterReleaseRule(Rule):
+    code = "FCY005"
+    name = "use-after-release"
+    summary = (
+        "pooled Packet used after release(); the free list may already "
+        "have recycled it into a different packet"
+    )
+    scope = ("core/", "simulator/", "experiments/")
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            for block in self._blocks_of(node):
+                found.extend(self._check_block(block, ctx))
+        return found
+
+    @staticmethod
+    def _blocks_of(node: ast.AST) -> list[list[ast.stmt]]:
+        blocks: list[list[ast.stmt]] = []
+        for fieldname in ("body", "orelse", "finalbody"):
+            value = getattr(node, fieldname, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                blocks.append(value)
+        return blocks
+
+    def _check_block(self, block: list[ast.stmt], ctx: FileContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        #: names released by an earlier statement of *this* block.
+        released: set[str] = set()
+        for stmt in block:
+            if released:
+                # any rebind clears the tracking (the name now refers to a
+                # different object); report loads that precede the rebind.
+                rebinds = {
+                    (node.lineno, node.col_offset)
+                    for node in ast.walk(stmt)
+                    if isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Store)
+                    and node.id in released
+                }
+                first_rebind = min(rebinds) if rebinds else None
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in released
+                        and (first_rebind is None
+                             or (node.lineno, node.col_offset) < first_rebind)
+                    ):
+                        diags.append(ctx.diagnostic(
+                            node, self.code,
+                            f"`{node.id}` used after `{node.id}.release()` "
+                            "returned it to the packet pool",
+                            hint="release the packet last, or copy the fields "
+                                 "you need before releasing",
+                        ))
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Store)
+                        and node.id in released
+                    ):
+                        released.discard(node.id)
+            released.update(_released_names(stmt))
+        return diags
+
+
+# --------------------------------------------------------------------------
+# FCY006 — exact equality on simulated-time floats
+# --------------------------------------------------------------------------
+
+
+def _is_timeish(node: ast.expr) -> bool:
+    label: str | None = None
+    if isinstance(node, ast.Attribute):
+        label = node.attr
+    elif isinstance(node, ast.Name):
+        label = node.id
+    if label is None:
+        return False
+    return (
+        label == "now"
+        or label == "deadline"
+        or label.endswith("_deadline")
+        or label.endswith("_time")
+    )
+
+
+def _is_sentinel(node: ast.expr) -> bool:
+    """None / negative-number sentinels are legitimate exact compares."""
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+    )
+
+
+class SimTimeEqualityRule(Rule):
+    code = "FCY006"
+    name = "simtime-equality"
+    summary = (
+        "exact ==/!= on simulated-time floats; accumulated float error "
+        "makes exact equality timing-dependent"
+    )
+    scope = ("core/", "simulator/", "experiments/")
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_sentinel(left) or _is_sentinel(right):
+                    continue
+                now_compare = (
+                    isinstance(left, ast.Attribute) and left.attr == "now"
+                ) or (isinstance(right, ast.Attribute) and right.attr == "now")
+                if now_compare or (_is_timeish(left) and _is_timeish(right)):
+                    found.append(ctx.diagnostic(
+                        node, self.code,
+                        "exact ==/!= comparison of simulated-time floats",
+                        hint="compare with <=/>= against a window, or use "
+                             "math.isclose with an explicit tolerance",
+                    ))
+                    break
+        return found
+
+
+#: Registry, in rule-code order.
+ALL_RULES: tuple[Rule, ...] = (
+    GlobalRngRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    BlockingCallRule(),
+    UseAfterReleaseRule(),
+    SimTimeEqualityRule(),
+)
+
+
+def rule_catalog() -> str:
+    """Human-readable rule listing for ``--list-rules``."""
+    lines = []
+    for rule in ALL_RULES:
+        scope = ", ".join(rule.scope) if rule.scope else "all files"
+        lines.append(f"{rule.code} [{rule.name}] — {rule.summary}")
+        lines.append(f"    scope: {scope}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Per-line ``# fancylint: disable=FCYnnn`` suppression comments.
+
+A finding is suppressed when the physical line it is reported on carries
+a trailing comment of the form::
+
+    risky_call()  # fancylint: disable=FCY001
+    other_call()  # fancylint: disable=FCY001,FCY004
+    anything()    # fancylint: disable=all
+
+Suppressions are parsed from the token stream (not a regex over raw
+lines), so the marker inside a string literal does not suppress anything.
+The engine records which suppressions actually fired so unused ones can
+be reported — the suppression policy (``docs/STATIC_ANALYSIS.md``)
+requires every suppression to carry its justification in the same
+comment.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_DIRECTIVE = re.compile(r"#\s*fancylint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+#: Sentinel rule set meaning "suppress every rule on this line".
+ALL_CODES = frozenset({"all"})
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> set of suppressed rule codes (or ``ALL_CODES``).
+
+    Tolerates syntactically broken files (returns what could be
+    tokenized): the engine reports a syntax-error diagnostic separately.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            spec = match.group(1).strip()
+            if spec.lower() == "all":
+                codes = ALL_CODES
+            else:
+                codes = frozenset(
+                    code.strip().upper() for code in spec.split(",") if code.strip()
+                )
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | codes
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass
+    return suppressions
+
+
+def is_suppressed(code: str, line: int, suppressions: dict[int, frozenset[str]]) -> bool:
+    """True when rule ``code`` is disabled on ``line``."""
+    codes = suppressions.get(line)
+    if codes is None:
+        return False
+    return codes is ALL_CODES or "all" in codes or code.upper() in codes

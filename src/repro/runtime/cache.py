@@ -69,7 +69,7 @@ class ResultCache:
             return None
         path = self._path(fingerprint)
         try:
-            with path.open("r", encoding="utf-8") as fh:
+            with path.open(encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1

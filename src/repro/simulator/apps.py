@@ -14,7 +14,8 @@ the absence of losses.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from .engine import Simulator
 from .packet import POOL, Packet, PacketKind
@@ -32,7 +33,7 @@ class Host(Node):
     ACKs are handed to the matching sender.
     """
 
-    def __init__(self, sim: Simulator, name: str, auto_sink: bool = False):
+    def __init__(self, sim: Simulator, name: str, auto_sink: bool = False) -> None:
         super().__init__(sim, name)
         self.flows: dict[int, TcpFlow] = {}
         self.sinks: dict[int, TcpSink] = {}
@@ -42,11 +43,11 @@ class Host(Node):
         self.bytes_received = 0
         #: Access link cache (hosts are single-homed); filled by
         #: attach_link so send() skips the per-packet port lookup.
-        self._access_link = None
+        self._access_link: Any | None = None
         #: Optional tap on every received packet (for throughput meters).
-        self.rx_tap: Optional[Callable[[Packet], None]] = None
+        self.rx_tap: Callable[[Packet], None] | None = None
 
-    def attach_link(self, port: int, link) -> None:
+    def attach_link(self, port: int, link: Any) -> None:
         super().attach_link(port, link)
         if port == self.access_port:
             self._access_link = link
@@ -124,9 +125,9 @@ class FlowGenerator:
         flow_duration_s: float = 1.0,
         packet_size: int = 1500,
         seed: int = 0,
-        max_packets_per_flow: Optional[int] = None,
+        max_packets_per_flow: int | None = None,
         flow_id_base: int = 0,
-    ):
+    ) -> None:
         if flows_per_second <= 0:
             raise ValueError("flows_per_second must be positive")
         self.sim = sim
@@ -203,7 +204,7 @@ class ThroughputMeter:
     time series.
     """
 
-    def __init__(self, sim: Simulator, bin_s: float = 0.1, per_entry: bool = False):
+    def __init__(self, sim: Simulator, bin_s: float = 0.1, per_entry: bool = False) -> None:
         self.sim = sim
         self.bin_s = bin_s
         self.per_entry = per_entry
@@ -219,7 +220,7 @@ class ThroughputMeter:
             per = self.entry_bins.setdefault(packet.entry, {})
             per[idx] = per.get(idx, 0.0) + packet.size
 
-    def series_bps(self, until: Optional[float] = None) -> list[tuple[float, float]]:
+    def series_bps(self, until: float | None = None) -> list[tuple[float, float]]:
         """Return ``(bin_start_time, throughput_bps)`` points."""
         if not self.bins:
             return []

@@ -33,7 +33,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
 
@@ -56,9 +57,9 @@ class EventHandle:
         time: float,
         seq: int,
         callback: Callable[..., Any],
-        args: tuple,
-        owner: Optional["Simulator"] = None,
-    ):
+        args: tuple[Any, ...],
+        owner: "Simulator | None" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -121,7 +122,7 @@ class Simulator:
     order they were scheduled.
     """
 
-    def __init__(self, telemetry: Optional[Any] = None) -> None:
+    def __init__(self, telemetry: Any | None = None) -> None:
         #: Binary heap of (time, seq, handle) entries; see module docstring.
         self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
@@ -133,10 +134,10 @@ class Simulator:
         self._cancelled = 0
         #: Heap compactions performed (observability / tests).
         self.compactions = 0
-        self._telemetry = None
+        self._telemetry: Any | None = None
         self._profile = False
-        self._m_events = None
-        self._m_depth = None
+        self._m_events: Any = None
+        self._m_depth: Any = None
         if telemetry is not None:
             self.bind_telemetry(telemetry)
 
@@ -215,7 +216,7 @@ class Simulator:
         interval: float,
         callback: Callable[..., Any],
         *args: Any,
-        start_delay: Optional[float] = None,
+        start_delay: float | None = None,
     ) -> EventHandle:
         """Schedule ``callback`` every ``interval`` seconds until cancelled.
 
@@ -247,7 +248,7 @@ class Simulator:
         handle_proxy = _PeriodicHandle(first.time, first.seq, _noop, ())
         return handle_proxy
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> float | None:
         """Return the timestamp of the next pending event, or ``None`` if idle."""
         queue = self._queue
         while queue and queue[0][2].cancelled:
@@ -274,11 +275,13 @@ class Simulator:
 
     def _step_instrumented(self, handle: EventHandle) -> None:
         """Telemetry-enabled event dispatch (split out of the hot loop)."""
+        telemetry = self._telemetry
+        assert telemetry is not None  # callers gate on the binding
         if self._profile:
             started = _time.perf_counter()
             handle.callback(*handle.args)
             elapsed = _time.perf_counter() - started
-            self._telemetry.metrics.histogram(
+            telemetry.metrics.histogram(
                 "sim_callback_seconds",
                 "Wall-clock seconds spent inside one event callback",
                 start=1e-7, base=10.0, n_buckets=8,
@@ -289,7 +292,7 @@ class Simulator:
         self._m_events.inc()
         self._m_depth.set(len(self._queue))
 
-    def run(self, until: Optional[float] = None) -> None:
+    def run(self, until: float | None = None) -> None:
         """Run events until the queue drains or the clock passes ``until``.
 
         When ``until`` is given, the clock is advanced to exactly ``until``

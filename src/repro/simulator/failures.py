@@ -21,7 +21,8 @@ experiments are reproducible given a seed.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
+from typing import Any
 
 from .packet import Packet, PacketKind
 
@@ -47,10 +48,10 @@ class GrayFailure:
         self,
         loss_rate: float,
         start_time: float = 0.0,
-        end_time: Optional[float] = None,
+        end_time: float | None = None,
         seed: int = 0,
         affect_control: bool = False,
-    ):
+    ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
         self.loss_rate = loss_rate
@@ -93,7 +94,7 @@ class GrayFailure:
 class EntryLossFailure(GrayFailure):
     """Drops packets belonging to a specific set of entries (prefixes)."""
 
-    def __init__(self, entries: Iterable[Any], loss_rate: float, **kwargs: Any):
+    def __init__(self, entries: Iterable[Any], loss_rate: float, **kwargs: Any) -> None:
         super().__init__(loss_rate, **kwargs)
         self.entries = frozenset(entries)
         if not self.entries:
@@ -123,7 +124,8 @@ class PacketPropertyFailure(GrayFailure):
     equals 0xE000.  ``predicate`` receives the packet.
     """
 
-    def __init__(self, predicate: Callable[[Packet], bool], loss_rate: float, **kwargs: Any):
+    def __init__(self, predicate: Callable[[Packet], bool], loss_rate: float,
+                 **kwargs: Any) -> None:
         super().__init__(loss_rate, **kwargs)
         self.predicate = predicate
 
@@ -142,9 +144,9 @@ class ControlPlaneFailure(GrayFailure):
     def __init__(
         self,
         loss_rate: float,
-        kinds: Optional[Iterable[PacketKind]] = None,
+        kinds: Iterable[PacketKind] | None = None,
         **kwargs: Any,
-    ):
+    ) -> None:
         kwargs.setdefault("affect_control", True)
         super().__init__(loss_rate, **kwargs)
         self.kinds = frozenset(kinds) if kinds is not None else None
@@ -164,7 +166,7 @@ class IntermittentFailure:
     """
 
     def __init__(self, inner: GrayFailure, period_s: float, on_fraction: float,
-                 phase_s: float = 0.0):
+                 phase_s: float = 0.0) -> None:
         if period_s <= 0:
             raise ValueError("period must be positive")
         if not 0 < on_fraction <= 1:
@@ -192,7 +194,7 @@ class CompositeFailure:
     """Combines several failures on one link; a packet is dropped if any
     component drops it."""
 
-    def __init__(self, failures: Iterable[GrayFailure]):
+    def __init__(self, failures: Iterable[GrayFailure]) -> None:
         self.failures = list(failures)
 
     def __call__(self, packet: Packet, now: float) -> bool:

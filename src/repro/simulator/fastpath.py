@@ -30,7 +30,7 @@ configuration *before* building a topology.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 __all__ = ["CONFIG", "FastPathConfig", "configure", "scoped", "reference"]
 
@@ -40,7 +40,7 @@ class FastPathConfig:
 
     __slots__ = ("fused_links", "packet_pool")
 
-    def __init__(self, fused_links: bool = True, packet_pool: bool = False):
+    def __init__(self, fused_links: bool = True, packet_pool: bool = False) -> None:
         #: Collapse serialize->propagate->deliver into one event on
         #: uncontended links (falls back to the full path under contention
         #: or telemetry/tracing instrumentation).
@@ -49,7 +49,7 @@ class FastPathConfig:
         #: consumed packets back to the pool.
         self.packet_pool = packet_pool
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, bool]:
         return {"fused_links": self.fused_links, "packet_pool": self.packet_pool}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -61,9 +61,9 @@ CONFIG = FastPathConfig()
 
 
 def configure(
-    fused_links: Optional[bool] = None,
-    packet_pool: Optional[bool] = None,
-) -> dict:
+    fused_links: bool | None = None,
+    packet_pool: bool | None = None,
+) -> dict[str, bool]:
     """Update the global fast-path switches; returns the previous snapshot."""
     from .packet import POOL
 
@@ -80,8 +80,8 @@ def configure(
 
 @contextmanager
 def scoped(
-    fused_links: Optional[bool] = None,
-    packet_pool: Optional[bool] = None,
+    fused_links: bool | None = None,
+    packet_pool: bool | None = None,
 ) -> Iterator[FastPathConfig]:
     """Temporarily reconfigure the fast path (restores on exit)."""
     previous = configure(fused_links=fused_links, packet_pool=packet_pool)

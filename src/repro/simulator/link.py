@@ -43,7 +43,8 @@ are unaffected because the instant path draws at send time either way.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Optional, Protocol
+from collections.abc import Callable
+from typing import Any, Protocol
 
 from .engine import Simulator
 from .fastpath import CONFIG
@@ -74,7 +75,7 @@ class LinkStats:
         self.delivered = 0
         self.dropped_failure = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return {
             "tx_packets": self.tx_packets,
             "tx_bytes": self.tx_bytes,
@@ -113,13 +114,13 @@ class Link:
         sim: Simulator,
         dst: Receiver,
         dst_port: int,
-        bandwidth_bps: Optional[float] = 10e9,
+        bandwidth_bps: float | None = 10e9,
         delay_s: float = 0.010,
-        loss_model: Optional[Callable[[Packet, float], bool]] = None,
+        loss_model: Callable[[Packet, float], bool] | None = None,
         name: str = "",
-        telemetry: Optional[Any] = None,
-        fused: Optional[bool] = None,
-    ):
+        telemetry: Any | None = None,
+        fused: bool | None = None,
+    ) -> None:
         self.sim = sim
         self.dst = dst
         self.dst_port = dst_port
@@ -141,7 +142,7 @@ class Link:
         #: the pending delivery's event handle and arrival timestamp.  A
         #: second send with the same arrival instant converts the handle
         #: into a burst delivery in place (see :meth:`send`).
-        self._burst_handle: Optional[Any] = None
+        self._burst_handle: Any | None = None
         self._burst_t = -1.0
         #: Multi-packet bursts coalesced so far (observability).
         self.coalesced_bursts = 0
@@ -150,7 +151,7 @@ class Link:
         if telemetry is not None:
             self.fused = False  # instrumented links take the full pipeline
             metrics = telemetry.metrics
-            self._m_tx = metrics.counter(
+            self._m_tx: Any = metrics.counter(
                 "link_tx_packets_total", "Packets that left the sender", link=self.name)
             self._m_tx_bytes = metrics.counter(
                 "link_tx_bytes_total", "Bytes that left the sender", link=self.name)
@@ -236,7 +237,9 @@ class Link:
             # loss model sees the exact reference-path instant, and the
             # arrival time is computed as (now + tx) + delay — the same
             # float association order as the two-event reference path.
-            tx_time = packet.size * 8 / self.bandwidth_bps
+            bandwidth = self.bandwidth_bps
+            assert bandwidth is not None  # the instant-link branch returned above
+            tx_time = packet.size * 8 / bandwidth
             depart_t = now + tx_time
             self._busy_until = depart_t
             self.fused_events += 1
@@ -304,7 +307,9 @@ class Link:
             return
         self._transmitting = True
         self._update_depth()
-        tx_time = packet.size * 8 / self.bandwidth_bps
+        bandwidth = self.bandwidth_bps
+        assert bandwidth is not None  # queued packets imply a serializing link
+        tx_time = packet.size * 8 / bandwidth
         self.sim.schedule(tx_time, self._finish_tx, packet)
 
     def _finish_tx(self, packet: Packet) -> None:
@@ -374,11 +379,11 @@ def connect_duplex(
     port_a: int,
     node_b: Any,
     port_b: int,
-    bandwidth_bps: Optional[float] = 10e9,
+    bandwidth_bps: float | None = 10e9,
     delay_s: float = 0.010,
-    loss_model_ab: Optional[Callable[[Packet, float], bool]] = None,
-    loss_model_ba: Optional[Callable[[Packet, float], bool]] = None,
-    telemetry: Optional[Any] = None,
+    loss_model_ab: Callable[[Packet, float], bool] | None = None,
+    loss_model_ba: Callable[[Packet, float], bool] | None = None,
+    telemetry: Any | None = None,
 ) -> tuple[Link, Link]:
     """Create a bidirectional connection as a pair of unidirectional links.
 

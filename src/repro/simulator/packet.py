@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Optional
+from typing import Any
 
 __all__ = [
     "PacketKind",
@@ -45,6 +45,10 @@ _packet_ids = itertools.count()
 
 class PacketKind(enum.Enum):
     """Packet categories understood by switches and endpoints."""
+
+    #: Precomputed per-member flag (annotation only — not an enum member);
+    #: set in the loop below the class body.
+    is_control: bool
 
     DATA = "data"
     ACK = "ack"
@@ -74,7 +78,7 @@ class PacketPool:
 
     __slots__ = ("enabled", "max_size", "free", "reused", "released")
 
-    def __init__(self, max_size: int = 8192):
+    def __init__(self, max_size: int = 8192) -> None:
         self.enabled = False
         self.max_size = max_size
         self.free: list["Packet"] = []
@@ -86,7 +90,7 @@ class PacketPool:
         """Drop every pooled packet (used when disabling the pool)."""
         self.free.clear()
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int | bool]:
         return {
             "enabled": self.enabled,
             "free": len(self.free),
@@ -145,9 +149,9 @@ class Packet:
         seq: int = 0,
         ack: int = -1,
         created_at: float = 0.0,
-        payload: Optional[dict] = None,
+        payload: dict[str, Any] | None = None,
         reverse: bool = False,
-    ):
+    ) -> None:
         self.pid = next(_packet_ids)
         self.kind = kind
         self.entry = entry
@@ -156,7 +160,7 @@ class Packet:
         self.seq = seq
         self.ack = ack
         self.created_at = created_at
-        self.tag: Optional[tuple[int, ...]] = None
+        self.tag: tuple[int, ...] | None = None
         self.tag_session: int = -1
         self.tag_dedicated: bool = False
         self.payload = payload
@@ -175,7 +179,7 @@ class Packet:
         seq: int = 0,
         ack: int = -1,
         created_at: float = 0.0,
-        payload: Optional[dict] = None,
+        payload: dict[str, Any] | None = None,
         reverse: bool = False,
     ) -> "Packet":
         """Pool-aware constructor: recycle a released packet when possible.

@@ -16,7 +16,8 @@ application, e.g. the rerouting app of §6.1) can be attached per port.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from collections.abc import Callable, Iterable
+from typing import Any
 
 from .engine import Simulator
 from .link import Link
@@ -36,7 +37,7 @@ EgressHook = Callable[[Packet, int], bool]
 class Node:
     """Base class for anything attached to links (switches and hosts)."""
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
         self.links: dict[int, Link] = {}
@@ -70,7 +71,7 @@ class SwitchStats:
         self.dropped_tm = 0
         self.consumed = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return {
             "received": self.received,
             "forwarded": self.forwarded,
@@ -97,17 +98,17 @@ class Switch(Node):
             ``switch_tm_queue_occupancy`` (sampled at admission time).
     """
 
-    def __init__(self, sim: Simulator, name: str, tm_queue_packets: Optional[int] = 1000,
-                 telemetry: Optional[Any] = None):
+    def __init__(self, sim: Simulator, name: str, tm_queue_packets: int | None = 1000,
+                 telemetry: Any | None = None) -> None:
         super().__init__(sim, name)
         self.tm_queue_packets = tm_queue_packets
         self.routes: dict[Any, int] = {}
-        self.default_port: Optional[int] = None
+        self.default_port: int | None = None
         self.stats = SwitchStats()
         self._telemetry = telemetry
         if telemetry is not None:
             metrics = telemetry.metrics
-            self._m_received = metrics.counter(
+            self._m_received: Any = metrics.counter(
                 "switch_received_total", "Packets entering the parser", switch=name)
             self._m_forwarded = metrics.counter(
                 "switch_forwarded_total", "Packets leaving the egress pipeline",
@@ -129,7 +130,7 @@ class Switch(Node):
         self._egress_hooks: dict[int, list[EgressHook]] = {}
         #: Optional forwarding override, e.g. the fast-rerouting app;
         #: returns an output port or None to fall through to the routes.
-        self.forwarding_override: Optional[Callable[[Packet], Optional[int]]] = None
+        self.forwarding_override: Callable[[Packet], int | None] | None = None
 
     # -- configuration -----------------------------------------------------
 
@@ -184,7 +185,7 @@ class Switch(Node):
                         self._m_consumed.inc()
                     return
         # -- TM: route lookup + tail-drop admission (see _traffic_manager).
-        out_port = None
+        out_port: int | None = None
         if self.forwarding_override is not None:
             out_port = self.forwarding_override(packet)
         if out_port is None:
@@ -227,7 +228,7 @@ class Switch(Node):
         The forwarding hot path inlines this logic in :meth:`receive`;
         keep the two in sync.
         """
-        out_port = None
+        out_port: int | None = None
         if self.forwarding_override is not None:
             out_port = self.forwarding_override(packet)
         if out_port is None:

@@ -21,7 +21,8 @@ consumed packets.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from .engine import EventHandle, Simulator
 from .packet import Packet, PacketKind
@@ -65,8 +66,8 @@ class TcpFlow:
         packet_size: int = 1500,
         rate_bps: float = 1e6,
         rto: float = DEFAULT_RTO,
-        on_complete: Optional[Callable[["TcpFlow"], None]] = None,
-    ):
+        on_complete: Callable[["TcpFlow"], None] | None = None,
+    ) -> None:
         if total_packets <= 0:
             raise ValueError("flow must carry at least one packet")
         self.sim = sim
@@ -86,16 +87,16 @@ class TcpFlow:
         self.dup_acks = 0
         self.rto = rto
         self.completed = False
-        self.started_at: Optional[float] = None
-        self.completed_at: Optional[float] = None
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
         self.packets_sent = 0
         self.retransmissions = 0
         self._pacing_interval = packet_size * 8 / rate_bps if rate_bps else 0.0
-        self._rto_timer: Optional[EventHandle] = None
+        self._rto_timer: EventHandle | None = None
         #: Authoritative expiry instant; the pending timer event may fire
         #: earlier (it is re-armed lazily, see :meth:`_arm_rto`).
         self._rto_deadline = 0.0
-        self._pacing_timer: Optional[EventHandle] = None
+        self._pacing_timer: EventHandle | None = None
         self._in_recovery = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -113,7 +114,7 @@ class TcpFlow:
         self._pacing_timer = None
 
     @staticmethod
-    def _cancel_timer(timer: Optional[EventHandle]) -> None:
+    def _cancel_timer(timer: EventHandle | None) -> None:
         if timer is not None:
             timer.cancel()
 
@@ -234,7 +235,7 @@ class TcpFlow:
             self.on_complete(self)
 
     @property
-    def duration(self) -> Optional[float]:
+    def duration(self) -> float | None:
         if self.started_at is None or self.completed_at is None:
             return None
         return self.completed_at - self.started_at
@@ -249,7 +250,7 @@ class TcpSink:
         send_fn: Callable[[Packet], None],
         entry: Any,
         flow_id: int,
-    ):
+    ) -> None:
         self.sim = sim
         self.send_fn = send_fn
         self.entry = entry

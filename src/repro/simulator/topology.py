@@ -14,7 +14,8 @@ scenario of §4.3, where FANcY runs only at the two ends of a path.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from .apps import Host
 from .engine import Simulator
@@ -50,13 +51,13 @@ class TwoSwitchTopology:
         self,
         sim: Simulator,
         link_delay_s: float = 0.010,
-        link_bandwidth_bps: Optional[float] = 100e9,
+        link_bandwidth_bps: float | None = 100e9,
         access_delay_s: float = 0.0001,
-        loss_model: Optional[Callable[[Packet, float], bool]] = None,
-        reverse_loss_model: Optional[Callable[[Packet, float], bool]] = None,
-        tm_queue_packets: Optional[int] = 10000,
-        telemetry=None,
-    ):
+        loss_model: Callable[[Packet, float], bool] | None = None,
+        reverse_loss_model: Callable[[Packet, float], bool] | None = None,
+        tm_queue_packets: int | None = 10000,
+        telemetry: Any | None = None,
+    ) -> None:
         self.sim = sim
         self.source = Host(sim, "src-host")
         self.sink = Host(sim, "dst-host", auto_sink=True)
@@ -120,11 +121,11 @@ class ChainTopology:
         sim: Simulator,
         n_switches: int = 3,
         link_delay_s: float = 0.010,
-        link_bandwidth_bps: Optional[float] = 100e9,
-        failure_hop: Optional[int] = None,
-        loss_model: Optional[Callable[[Packet, float], bool]] = None,
-        tm_queue_packets: Optional[int] = 10000,
-    ):
+        link_bandwidth_bps: float | None = 100e9,
+        failure_hop: int | None = None,
+        loss_model: Callable[[Packet, float], bool] | None = None,
+        tm_queue_packets: int | None = 10000,
+    ) -> None:
         if n_switches < 2:
             raise ValueError("chain needs at least two switches")
         if failure_hop is not None and not 0 <= failure_hop < n_switches - 1:
@@ -157,7 +158,7 @@ class ChainTopology:
 
         # Reverse path: hook every switch to bounce reverse packets back
         # toward the source.
-        def make_reverse_hook(sw: Switch, out_port: int):
+        def make_reverse_hook(sw: Switch, out_port: int) -> Callable[[Packet, int], bool]:
             def hook(packet: Packet, _in_port: int) -> bool:
                 if packet.reverse:
                     sw._egress(packet, out_port)
@@ -196,10 +197,10 @@ class StarTopology:
         sim: Simulator,
         n_peers: int = 4,
         link_delay_s: float = 0.010,
-        link_bandwidth_bps: Optional[float] = 100e9,
-        loss_models: Optional[dict] = None,
-        tm_queue_packets: Optional[int] = 10000,
-    ):
+        link_bandwidth_bps: float | None = 100e9,
+        loss_models: dict[int, Callable[[Packet, float], bool]] | None = None,
+        tm_queue_packets: int | None = 10000,
+    ) -> None:
         if n_peers < 1:
             raise ValueError("star needs at least one peer")
         self.sim = sim
@@ -228,7 +229,7 @@ class StarTopology:
             self.sinks.append(sink)
             self.links.append(fwd)
 
-            def make_reverse(sw: Switch, port: int):
+            def make_reverse(sw: Switch, port: int) -> Callable[[Packet, int], bool]:
                 def hook(packet: Packet, _in: int) -> bool:
                     if packet.reverse:
                         sw._egress(packet, port)
@@ -245,6 +246,6 @@ class StarTopology:
             raise IndexError(f"no peer {peer_index}")
         return peer_index + 1
 
-    def route_entries(self, peer_index: int, entries) -> None:
+    def route_entries(self, peer_index: int, entries: Any) -> None:
         """Steer the given entries toward one peer."""
         self.hub.add_routes(entries, self.hub_port(peer_index))

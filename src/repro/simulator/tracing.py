@@ -10,8 +10,9 @@ of a large experiment is expensive.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, Union
+from typing import Any
 
 from .engine import Simulator
 from .link import Link
@@ -32,7 +33,7 @@ class TraceEvent:
     kind: str
     entry: Any
     size: int
-    tag: Optional[tuple]
+    tag: tuple[int, ...] | None
 
     def format(self) -> str:
         tag = f" tag={self.tag}" if self.tag is not None else ""
@@ -60,15 +61,15 @@ class PacketTracer:
     def __init__(
         self,
         sim: Simulator,
-        predicate: Optional[Callable[[Packet], bool]] = None,
+        predicate: Callable[[Packet], bool] | None = None,
         max_events: int = 100_000,
         ring_buffer: bool = False,
-    ):
+    ) -> None:
         self.sim = sim
         self.predicate = predicate
         self.max_events = max_events
         self.ring_buffer = ring_buffer
-        self.events: Union[list[TraceEvent], deque[TraceEvent]] = (
+        self.events: list[TraceEvent] | deque[TraceEvent] = (
             deque(maxlen=max_events) if ring_buffer else []
         )
         self.dropped_records = 0
@@ -118,14 +119,17 @@ class PacketTracer:
             self.record(link.name, "deliver", packet)
             original_deliver(packet)
 
-        link._depart = traced_depart
-        link._deliver = traced_deliver
+        # Deliberate wrapper injection over the link's internal pipeline;
+        # mypy (rightly) flags method assignment, but this is the tracer's
+        # whole mechanism and is scoped to the traced link instance.
+        link._depart = traced_depart  # type: ignore[method-assign]
+        link._deliver = traced_deliver  # type: ignore[method-assign]
 
-    def attach_switch(self, switch: Switch, ports: Optional[Iterable[int]] = None) -> None:
+    def attach_switch(self, switch: Switch, ports: Iterable[int] | None = None) -> None:
         """Record ingress events on a switch (per port, before hooks)."""
         watch = set(ports) if ports is not None else None
 
-        def hook_factory(port: int):
+        def hook_factory(port: int) -> Callable[[Packet, int], bool]:
             def hook(packet: Packet, _in_port: int) -> bool:
                 self.record(switch.name, "ingress", packet)
                 return True
@@ -140,9 +144,9 @@ class PacketTracer:
     def __len__(self) -> int:
         return len(self.events)
 
-    def filter(self, event: Optional[str] = None, entry: Any = None,
-               kind: Optional[PacketKind] = None) -> list[TraceEvent]:
-        out = []
+    def filter(self, event: str | None = None, entry: Any = None,
+               kind: PacketKind | None = None) -> list[TraceEvent]:
+        out: list[TraceEvent] = []
         for ev in self.events:
             if event is not None and ev.event != event:
                 continue
@@ -158,7 +162,7 @@ class PacketTracer:
         return sorted((e for e in self.events if e.pid == pid),
                       key=lambda e: e.time)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, int]:
         counts: dict[str, int] = {}
         for ev in self.events:
             counts[ev.event] = counts.get(ev.event, 0) + 1

@@ -25,7 +25,8 @@ Experiments that need exact per-packet wire timing keep ``train=1``.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from .engine import EventHandle, Simulator
 from .packet import Packet, PacketKind
@@ -63,7 +64,7 @@ class UdpSource:
         jitter: float = 0.0,
         seed: int = 0,
         train: int = 1,
-    ):
+    ) -> None:
         if rate_bps <= 0:
             raise ValueError("UDP source rate must be positive")
         if train < 1:
@@ -79,14 +80,14 @@ class UdpSource:
         self.train = train
         self.packets_sent = 0
         self.next_seq = 0
-        self._timer: Optional[EventHandle] = None
+        self._timer: EventHandle | None = None
         self._running = False
         # Jittered-interval bounds, precomputed once: each gap is
         # interval * (lo + span * u) with u ~ U[0, 1), algebraically
         # identical to the historical interval * (1 + jitter * (2u - 1)).
         self._jitter_lo = 1.0 - jitter
         self._jitter_span = 2.0 * jitter
-        self._rng: Optional[random.Random] = random.Random(seed) if jitter else None
+        self._rng: random.Random | None = random.Random(seed) if jitter else None
 
     def start(self, delay: float = 0.0) -> None:
         self._running = True

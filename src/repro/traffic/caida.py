@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..runtime.jobs import stable_seed
 from .prefixes import PrefixSpace
 
 __all__ = [
@@ -204,7 +205,7 @@ class SyntheticCaidaTrace:
         """
         if duration_s <= 0:
             raise ValueError("slice duration must be positive")
-        rng = random.Random((self.seed, self.spec.trace_id, start_s, duration_s).__repr__())
+        rng = random.Random(stable_seed(self.seed, self.spec.trace_id, start_s, duration_s))
         n = self.n_prefixes if max_prefixes is None else min(max_prefixes, self.n_prefixes)
         prefixes = []
         rates: dict[str, float] = {}

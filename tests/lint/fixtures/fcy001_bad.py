@@ -1,0 +1,30 @@
+"""FCY001 violations: module-level RNG draws and repr-derived seeds."""
+
+import random
+
+import numpy as np
+from random import choice
+
+
+def draw_loss():
+    return random.random() < 0.01
+
+
+def pick_port(ports):
+    return choice(ports)
+
+
+def jitter():
+    return np.random.rand()
+
+
+def reseed():
+    random.seed(42)
+
+
+def fragile_seed(seed, rep):
+    return random.Random((seed, rep, "x").__repr__())
+
+
+def fragile_seed_repr(seed, rep):
+    return random.Random(repr((seed, rep)))

@@ -1,0 +1,21 @@
+"""FCY001-clean: every RNG is a seeded instance, seeds via stable_seed."""
+
+import random
+
+import numpy as np
+
+from repro.runtime.jobs import stable_seed
+
+
+def draw_loss(seed):
+    rng = random.Random(stable_seed(seed, "loss"))
+    return rng.random() < 0.01
+
+
+def pick_port(rng, ports):
+    return rng.choice(ports)
+
+
+def jitter(seed):
+    gen = np.random.default_rng(seed)
+    return gen.standard_normal()

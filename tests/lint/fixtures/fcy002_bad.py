@@ -1,0 +1,12 @@
+"""FCY002 violations: wall-clock reads in simulation/fingerprint code."""
+
+import time as _time
+from datetime import datetime
+
+
+def fingerprint_job(spec):
+    return {"spec": spec, "stamp": _time.time()}
+
+
+def label_run():
+    return datetime.now().isoformat()

@@ -1,0 +1,13 @@
+"""FCY002-clean: monotonic durations, simulated timestamps."""
+
+import time
+
+
+def measure(fn):
+    start = time.monotonic()
+    fn()
+    return time.monotonic() - start
+
+
+def stamp_event(sim):
+    return sim.now

@@ -1,0 +1,16 @@
+"""FCY003 violations: set iteration order escaping into results."""
+
+
+def entries_in_report(flagged):
+    report = []
+    for entry in set(flagged):
+        report.append(entry)
+    return report
+
+
+def first_two(entries):
+    return list({e.lower() for e in entries})[:2]
+
+
+def enumerate_ports(up, down):
+    return list(enumerate(up.union(down)))

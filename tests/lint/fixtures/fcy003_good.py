@@ -1,0 +1,13 @@
+"""FCY003-clean: sorted before the order can escape, or order-free sinks."""
+
+
+def entries_in_report(flagged):
+    return [entry for entry in sorted(set(flagged))]
+
+
+def total(seen):
+    return sum(set(seen))
+
+
+def is_flagged(entry, flagged):
+    return entry in set(flagged)

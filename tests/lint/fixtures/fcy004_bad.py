@@ -1,0 +1,16 @@
+"""FCY004 violations: blocking calls inside event-driven code."""
+
+import subprocess
+import time
+
+
+class PortHandler:
+    def on_timeout(self):
+        time.sleep(0.5)
+
+    def on_report(self, path):
+        with open(path) as fh:
+            return fh.read()
+
+    def on_probe(self):
+        return subprocess.run(["ping", "-c1", "host"])

@@ -1,0 +1,12 @@
+"""FCY004-clean: delays are simulated, I/O stays out of the event loop."""
+
+
+class PortHandler:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def on_timeout(self):
+        self.sim.schedule(0.5, self.on_retry)
+
+    def on_retry(self):
+        return None

@@ -1,0 +1,6 @@
+"""FCY005 violation: pooled packet used after release()."""
+
+
+def consume(packet, stats):
+    packet.release()
+    stats.rx_bytes += packet.size

@@ -1,0 +1,19 @@
+"""FCY005-clean: release last / release on a branch that returns."""
+
+
+def consume(packet, stats):
+    stats.rx_bytes += packet.size
+    packet.release()
+
+
+def maybe_drop(packet, lossy, sim):
+    if lossy:
+        packet.release()
+        return
+    sim.deliver(packet)
+
+
+def recycle(packet, fresh):
+    packet.release()
+    packet = fresh()
+    return packet.size

@@ -1,0 +1,9 @@
+"""FCY006 violations: exact equality on simulated-time floats."""
+
+
+def fired_now(sim, deadline):
+    return sim.now == deadline
+
+
+def same_instant(a, b):
+    return a.depart_time != b.arrival_time

@@ -1,0 +1,15 @@
+"""FCY006-clean: window comparisons, isclose, sentinel compares."""
+
+import math
+
+
+def fired_now(sim, deadline):
+    return sim.now >= deadline
+
+
+def same_instant(a, b):
+    return math.isclose(a.depart_time, b.arrival_time, abs_tol=1e-12)
+
+
+def unarmed(timer):
+    return timer.rto_deadline == -1.0

@@ -1,0 +1,70 @@
+"""Baseline round-trip: grandfathered findings stay out, new ones fail."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Baseline, lint_paths
+from repro.lint.baseline import with_fingerprints
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = sorted(FIXTURES.glob("*_bad.py"))
+
+
+def test_round_trip(tmp_path):
+    first = lint_paths(BAD)
+    assert first.diagnostics, "bad fixtures must produce findings"
+
+    baseline = Baseline.from_diagnostics(first.diagnostics)
+    baseline_file = tmp_path / "baseline.json"
+    baseline.save(baseline_file)
+
+    reloaded = Baseline.load(baseline_file)
+    assert len(reloaded) == len(baseline)
+
+    second = lint_paths(BAD, baseline=reloaded)
+    assert second.diagnostics == []
+    assert second.baselined == len(first.diagnostics)
+    assert second.ok
+
+
+def test_new_finding_still_fails(tmp_path):
+    subset = lint_paths(BAD[:-1])
+    baseline = Baseline.from_diagnostics(subset.diagnostics)
+    result = lint_paths(BAD, baseline=baseline)
+    assert result.diagnostics, "findings outside the baseline must survive"
+    assert {d.path for d in result.diagnostics} == {str(BAD[-1])}
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "does-not-exist.json")
+    assert len(baseline) == 0
+
+
+def test_fingerprints_survive_line_shifts():
+    source_a = "import random\nx = random.random()\n"
+    source_b = "import random\n# a new comment above\n\nx = random.random()\n"
+    from repro.lint import lint_source
+
+    diags_a = lint_source(source_a, path="f.py")
+    diags_b = lint_source(source_b, path="f.py")
+    fp_a = [fp for _, fp in with_fingerprints(diags_a)]
+    fp_b = [fp for _, fp in with_fingerprints(diags_b)]
+    assert fp_a == fp_b
+
+
+def test_identical_lines_get_distinct_fingerprints():
+    source = "import random\nx = random.random()\ny = 1\nx = random.random()\n"
+    from repro.lint import lint_source
+
+    diags = lint_source(source, path="f.py")
+    fingerprints = [fp for _, fp in with_fingerprints(diags)]
+    assert len(fingerprints) == 2
+    assert len(set(fingerprints)) == 2
+
+
+def test_repo_baseline_is_empty():
+    """Policy: the checked-in baseline stays empty (shrink-only)."""
+    repo_baseline = Path(__file__).parents[2] / ".fancylint-baseline.json"
+    assert repo_baseline.exists()
+    assert len(Baseline.load(repo_baseline)) == 0

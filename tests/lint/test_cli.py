@@ -1,0 +1,79 @@
+"""CLI behaviour: exit codes, baseline flags, formats, self-cleanliness."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as fancy_repro_main
+from repro.lint import lint_paths
+from repro.lint.cli import main as lint_main
+
+REPO = Path(__file__).parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_exit_one_on_findings(capsys):
+    rc = lint_main([str(FIXTURES / "fcy001_bad.py"), "--no-baseline"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FCY001" in out
+
+
+def test_exit_zero_on_clean(capsys):
+    rc = lint_main([str(FIXTURES / "fcy001_good.py"), "--no-baseline"])
+    assert rc == 0
+    assert "FCY" not in capsys.readouterr().out
+
+
+def test_select_restricts_rules(capsys):
+    rc = lint_main([str(FIXTURES), "--no-baseline", "--select", "FCY005"])
+    assert rc == 1
+    codes = {line.split(" ")[1] for line in capsys.readouterr().out.splitlines() if line}
+    assert codes == {"FCY005"}
+
+
+def test_unknown_select_code_rejected():
+    with pytest.raises(SystemExit, match="FCY999"):
+        lint_main([str(FIXTURES), "--select", "FCY999"])
+
+
+def test_json_format(capsys):
+    rc = lint_main([str(FIXTURES / "fcy006_bad.py"), "--no-baseline", "--format", "json"])
+    assert rc == 1
+    findings = json.loads(capsys.readouterr().out)
+    assert all(f["code"] == "FCY006" for f in findings)
+    assert {"path", "line", "col", "message", "hint"} <= set(findings[0])
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(FIXTURES), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert lint_main([str(FIXTURES), "--baseline", str(baseline)]) == 0
+    # ignoring the baseline re-surfaces the grandfathered findings
+    assert lint_main([str(FIXTURES), "--no-baseline"]) == 1
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("FCY001", "FCY002", "FCY003", "FCY004", "FCY005", "FCY006"):
+        assert code in out
+
+
+def test_fancy_repro_lint_subcommand(capsys):
+    rc = fancy_repro_main(["lint", str(FIXTURES / "fcy003_bad.py"), "--no-baseline"])
+    assert rc == 1
+    assert "FCY003" in capsys.readouterr().out
+
+
+def test_repo_source_tree_is_lint_clean():
+    """The contract this PR establishes: `python -m repro.lint src` is clean
+    with an *empty* baseline — no grandfathered findings, no suppressions
+    hiding real ones."""
+    result = lint_paths([REPO / "src"])
+    assert result.ok, "\n".join(d.render() for d in result.diagnostics)
+    assert result.suppressed == 0
+    assert result.files_checked > 80

@@ -1,0 +1,145 @@
+"""Fixture-driven tests: one violating / clean pair per FCY rule."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file, lint_source
+from repro.lint.engine import package_relative
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule -> (bad fixture finding count, expected code)
+EXPECTED_BAD = {
+    "FCY001": 6,
+    "FCY002": 2,
+    "FCY003": 3,
+    "FCY004": 3,
+    "FCY005": 1,
+    "FCY006": 2,
+}
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_BAD))
+def test_bad_fixture_flags(code):
+    findings = lint_file(FIXTURES / f"{code.lower()}_bad.py")
+    matching = [d for d in findings if d.code == code]
+    assert len(matching) == EXPECTED_BAD[code], [d.render() for d in findings]
+    for diag in matching:
+        assert diag.line > 0 and diag.col > 0
+        assert diag.hint  # every rule ships a fix hint
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_BAD))
+def test_good_fixture_clean(code):
+    findings = lint_file(FIXTURES / f"{code.lower()}_good.py")
+    # clean fixtures are clean under *every* rule, not just their own
+    assert findings == [], [d.render() for d in findings]
+
+
+def test_diagnostic_rendering_is_ruff_style():
+    findings = lint_file(FIXTURES / "fcy002_bad.py")
+    rendered = findings[0].render()
+    path, line, col, rest = rendered.split(":", 3)
+    assert path.endswith("fcy002_bad.py")
+    assert int(line) > 0 and int(col) > 0
+    assert rest.strip().startswith("FCY002 ")
+    assert "(hint:" in rest
+
+
+class TestAliasResolution:
+    def test_renamed_module_import(self):
+        source = "import random as rnd\nx = rnd.randint(0, 7)\n"
+        assert [d.code for d in lint_source(source)] == ["FCY001"]
+
+    def test_from_import_function(self):
+        source = "from numpy.random import rand\nx = rand()\n"
+        assert [d.code for d in lint_source(source)] == ["FCY001"]
+
+    def test_unrelated_attribute_chains_ignored(self):
+        source = "def f(rng):\n    return rng.random() + rng.choice([1])\n"
+        assert lint_source(source) == []
+
+
+class TestScoping:
+    """Rules only apply to their package-relative scope."""
+
+    def test_package_relative(self):
+        assert package_relative("src/repro/core/zooming.py") == "core/zooming.py"
+        assert package_relative("/a/b/src/repro/simulator/link.py") == "simulator/link.py"
+        assert package_relative("tests/lint/fixtures/fcy001_bad.py") is None
+
+    def test_blocking_rule_scoped_to_event_driven_packages(self):
+        source = "def load(path):\n    return open(path).read()\n"
+        assert [d.code for d in lint_source(source, rel_path="simulator/io.py")] == ["FCY004"]
+        # experiment drivers may do file I/O
+        assert lint_source(source, rel_path="experiments/io.py") == []
+
+    def test_wall_clock_scoped_to_fingerprint_paths(self):
+        source = "import time\nSTAMP = time.time()\n"
+        assert [d.code for d in lint_source(source, rel_path="runtime/jobs.py")] == ["FCY002"]
+        assert lint_source(source, rel_path="runtime/progress.py") == []
+
+    def test_unscoped_files_get_every_rule(self):
+        source = "import time\nSTAMP = time.time()\n"
+        assert [d.code for d in lint_source(source, rel_path=None)] == ["FCY002"]
+
+
+class TestUseAfterReleaseControlFlow:
+    """FCY005 is block-aware: a release on a returning branch is fine."""
+
+    def test_branch_release_not_flagged(self):
+        source = (
+            "def send(packet, lossy, sim):\n"
+            "    if lossy:\n"
+            "        packet.release()\n"
+            "        return\n"
+            "    sim.deliver(packet)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_straight_line_use_after_release_flagged(self):
+        source = (
+            "def send(packet, stats):\n"
+            "    packet.release()\n"
+            "    stats.n += packet.size\n"
+        )
+        assert [d.code for d in lint_source(source)] == ["FCY005"]
+
+    def test_rebind_clears_tracking(self):
+        source = (
+            "def send(packet, fresh):\n"
+            "    packet.release()\n"
+            "    packet = fresh()\n"
+            "    return packet.size\n"
+        )
+        assert lint_source(source) == []
+
+    def test_use_inside_later_nested_block_flagged(self):
+        source = (
+            "def send(packet, cond, sim):\n"
+            "    packet.release()\n"
+            "    if cond:\n"
+            "        sim.deliver(packet)\n"
+        )
+        assert [d.code for d in lint_source(source)] == ["FCY005"]
+
+
+class TestSimTimeEquality:
+    def test_sentinel_compare_allowed(self):
+        assert lint_source("armed = timer.deadline != -1.0\n") == []
+        assert lint_source("armed = timer.deadline is not None\n") == []
+
+    def test_now_vs_anything_flagged(self):
+        assert [d.code for d in lint_source("fire = sim.now == 1.5\n")] == ["FCY006"]
+
+    def test_ordering_comparison_allowed(self):
+        assert lint_source("fire = sim.now >= deadline\n") == []
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", path="broken.py")
+    assert [d.code for d in findings] == ["FCY000"]
+    assert "does not parse" in findings[0].message

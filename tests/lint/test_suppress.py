@@ -1,0 +1,65 @@
+"""Suppression-comment handling (`# fancylint: disable=...`)."""
+
+from __future__ import annotations
+
+from repro.lint import lint_source
+from repro.lint.suppress import parse_suppressions
+
+VIOLATION = "import random\nx = random.random()  {comment}\n"
+
+
+def test_matching_code_suppresses():
+    source = VIOLATION.format(comment="# fancylint: disable=FCY001")
+    assert lint_source(source) == []
+
+
+def test_wrong_code_does_not_suppress():
+    source = VIOLATION.format(comment="# fancylint: disable=FCY002")
+    assert [d.code for d in lint_source(source)] == ["FCY001"]
+
+
+def test_disable_all_suppresses_everything():
+    source = VIOLATION.format(comment="# fancylint: disable=all")
+    assert lint_source(source) == []
+
+
+def test_multiple_codes_one_comment():
+    source = (
+        "import random, time\n"
+        "x = random.random() or time.time()  "
+        "# fancylint: disable=FCY001,FCY002\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_suppression_only_covers_its_own_line():
+    source = (
+        "import random\n"
+        "a = random.random()  # fancylint: disable=FCY001\n"
+        "b = random.random()\n"
+    )
+    findings = lint_source(source)
+    assert [(d.code, d.line) for d in findings] == [("FCY001", 3)]
+
+
+def test_directive_inside_string_literal_is_inert():
+    source = (
+        "import random\n"
+        'DOC = "# fancylint: disable=FCY001"\n'
+        "x = random.random()\n"
+    )
+    assert [d.code for d in lint_source(source)] == ["FCY001"]
+
+
+def test_suppressed_count_reported():
+    counter: list[int] = []
+    lint_source(
+        VIOLATION.format(comment="# fancylint: disable=FCY001"),
+        count_suppressed=counter,
+    )
+    assert sum(counter) == 1
+
+
+def test_parse_suppressions_case_and_whitespace():
+    parsed = parse_suppressions("x = 1  #  fancylint:  disable=fcy001, FCY004\n")
+    assert parsed == {1: frozenset({"FCY001", "FCY004"})}
