@@ -1,0 +1,66 @@
+"""Chaos-injection subsystem: fault models beyond loss, soak, shrink.
+
+The paper's Table 1 taxonomises gray failures by *which packets
+disappear*; real gray hardware also reorders, duplicates, corrupts,
+delays, flaps and reboots.  This package injects those behaviours into
+the simulator and checks that the (hardened) FANcY protocol neither
+deadlocks, nor invents failures, nor misses persistent ones:
+
+* :mod:`~repro.chaos.perturbations` — composable wire perturbation
+  models attached to links via ``link.chaos``;
+* :mod:`~repro.chaos.schedule` — seeded random fault schedules and
+  their wiring onto a topology;
+* :mod:`~repro.chaos.invariants` — the I1–I6 robustness invariants;
+* :mod:`~repro.chaos.harness` — the soak runner
+  (``fancy-repro chaos``), including named regression fixtures;
+* :mod:`~repro.chaos.shrink` — minimal-reproducer schedule shrinking.
+
+See docs/ROBUSTNESS.md for the fault taxonomy, the protocol-hardening
+guarantees, and how to replay a CI reproducer artifact.
+"""
+
+from .harness import (
+    REGRESSIONS,
+    SoakConfig,
+    SoakResult,
+    regression_scenario,
+    run_many,
+    run_soak,
+    soak_worker,
+)
+from .invariants import Violation
+from .perturbations import (
+    ChaosModel,
+    CorruptField,
+    DelaySpike,
+    Duplicate,
+    LinkFlap,
+    Perturbation,
+    Reorder,
+)
+from .schedule import FaultSpec, generate_schedule, materialize
+from .shrink import load_reproducer, shrink, write_reproducer
+
+__all__ = [
+    "ChaosModel",
+    "CorruptField",
+    "DelaySpike",
+    "Duplicate",
+    "FaultSpec",
+    "LinkFlap",
+    "Perturbation",
+    "REGRESSIONS",
+    "Reorder",
+    "SoakConfig",
+    "SoakResult",
+    "Violation",
+    "generate_schedule",
+    "load_reproducer",
+    "materialize",
+    "regression_scenario",
+    "run_many",
+    "run_soak",
+    "shrink",
+    "soak_worker",
+    "write_reproducer",
+]

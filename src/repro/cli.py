@@ -102,11 +102,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(args_list[1:])
+    if args_list and args_list[0] == "chaos":
+        # `fancy-repro chaos [...]` delegates to the chaos-soak CLI,
+        # which owns its own flags (see docs/ROBUSTNESS.md).
+        from .chaos.cli import main as chaos_main
+
+        return chaos_main(args_list[1:])
 
     parser = argparse.ArgumentParser(
         prog="fancy-repro",
         description="Regenerate the FANcY paper's tables and figures "
-                    "(or run `fancy-repro lint` for the static-analysis gate).",
+                    "(run `fancy-repro lint` for the static-analysis gate, "
+                    "`fancy-repro chaos` for the fault-injection soak).",
     )
     parser.add_argument(
         "experiment",

@@ -32,7 +32,32 @@ from ..simulator.packet import Packet
 #: overhead (measured in benchmarks/test_microbench.py).
 _VECTORIZE_MIN_ENTRIES = 64
 
-__all__ = ["DedicatedSenderCounters", "DedicatedReceiverCounters"]
+__all__ = [
+    "DedicatedSenderCounters",
+    "DedicatedReceiverCounters",
+    "coerce_remote_snapshot",
+]
+
+
+def coerce_remote_snapshot(remote: Any) -> Sequence[int]:
+    """Defense-in-depth normalisation of a Report's counter snapshot.
+
+    Checksummed control payloads (see :func:`repro.core.protocol.
+    payload_checksum`) are rejected before they reach a strategy, but
+    snapshots can still arrive malformed from direct ``on_control`` calls
+    (tests, harnesses) or from payloads crafted without checksums.  A
+    comparison must *never* crash the FSM on garbage — a switch that
+    wedges on a corrupted Report is strictly worse than one that
+    mis-counts a session.  Non-sequences become the empty snapshot
+    (missing cells read as 0, i.e. "nothing received" — the conservative
+    loss-semantics default); non-int cells are zeroed individually.
+    """
+    if isinstance(remote, str | bytes) or not isinstance(remote, Sequence):
+        return ()
+    for v in remote:
+        if type(v) is not int:
+            return [v if type(v) is int else 0 for v in remote]
+    return remote
 
 #: Detection callback: (entry, lost_packets, session_id) -> None.
 DetectionCallback = Callable[[Any, int, int], None]
@@ -98,6 +123,7 @@ class DedicatedSenderCounters:
         one bulk equality check; only unequal sessions pay the per-index
         scan (vectorized for wide entry sets).
         """
+        remote_counters = coerce_remote_snapshot(remote_counters)
         local = self.counters
         n = len(local)
         if isinstance(remote_counters, list) and len(remote_counters) == n \

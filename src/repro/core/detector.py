@@ -30,6 +30,7 @@ from .counters import DedicatedReceiverCounters, DedicatedSenderCounters
 from .hashtree import HashTree, HashTreeParams
 from .output import FailureKind, FailureLog, FailureReport, HashPathFlags
 from .protocol import (
+    DEFAULT_BACKOFF_CAP,
     DEFAULT_MAX_ATTEMPTS,
     DEFAULT_RTX_TIMEOUT,
     DEFAULT_TWAIT,
@@ -80,6 +81,14 @@ class FancyConfig:
     rtx_timeout_s: float = DEFAULT_RTX_TIMEOUT
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     twait_s: float = DEFAULT_TWAIT
+    #: Cap factor for the sender FSMs' exponential retransmission backoff
+    #: (see :data:`repro.core.protocol.DEFAULT_BACKOFF_CAP`).
+    backoff_cap: int = DEFAULT_BACKOFF_CAP
+    #: **Chaos-regression fixture only**: disables stale-session rejection
+    #: in the sender FSMs so the soak harness can prove it catches the
+    #: resulting protocol violations (docs/ROBUSTNESS.md).  Never enable
+    #: in real experiments.
+    accept_stale_responses: bool = False
     seed: int = 0
     suppress_known: bool = True
     #: Entry classifier (§1): maps packets to entry keys.  ``None`` means
@@ -180,6 +189,8 @@ class FancyLinkMonitor:
             max_attempts=cfg.max_attempts,
             on_link_failure=self._on_link_failure,
             telemetry=self.telemetry,
+            backoff_cap=cfg.backoff_cap,
+            accept_stale_responses=cfg.accept_stale_responses,
         )
         self.dedicated_receiver = FancyReceiver(
             self.sim,
@@ -223,6 +234,8 @@ class FancyLinkMonitor:
             on_link_failure=self._on_link_failure,
             report_size_bytes=report_size,
             telemetry=self.telemetry,
+            backoff_cap=cfg.backoff_cap,
+            accept_stale_responses=cfg.accept_stale_responses,
         )
         self.tree_receiver = FancyReceiver(
             self.sim,
@@ -384,6 +397,40 @@ class FancyLinkMonitor:
                     self.dedicated_receiver, self.tree_receiver):
             if fsm is not None:
                 fsm.stop()
+
+    def restart(self, side: str = "both") -> None:
+        """Simulate a switch reboot on one or both ends of the link.
+
+        A restart wipes the affected FSMs' transient state mid-session
+        (see :meth:`FancySender.restart` / :meth:`FancyReceiver.restart`
+        for the exact persistence model).  Counter state is zeroed on the
+        next ``begin_session``.  Sender FSMs that were never started stay
+        unstarted — a restart must not *begin* monitoring.
+
+        This is the switch-restart fault model of the chaos subsystem
+        (docs/ROBUSTNESS.md); the monitor's :attr:`log` deliberately
+        survives restarts (it models the control-plane collector, not
+        switch ASIC memory), which is what makes eventual-detection
+        invariants checkable across state wipes.
+        """
+        if side not in ("upstream", "downstream", "both"):
+            raise ValueError(f"unknown restart side: {side!r}")
+        now = self.sim.now
+        if side in ("upstream", "both"):
+            for sender in (self.dedicated_sender, self.tree_sender):
+                if sender is not None and sender.session_id > 0:
+                    sender.restart()
+        if side in ("downstream", "both"):
+            for receiver in (self.dedicated_receiver, self.tree_receiver):
+                if receiver is not None:
+                    receiver.restart()
+        if self._timeline is not None:
+            self._timeline.record(now, self._id, "switch_restart", side=side)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "chaos_switch_restarts_total",
+                "Simulated switch restarts injected by the chaos subsystem",
+                monitor=self._id, side=side).inc()
 
     # -- convenience queries -------------------------------------------------------------------
 

@@ -33,6 +33,8 @@ truth for §5.3's control-overhead accounting, see
 from __future__ import annotations
 
 import enum
+import hashlib
+
 from collections.abc import Callable
 from typing import Any, Protocol
 
@@ -46,9 +48,12 @@ __all__ = [
     "ReceiverStrategy",
     "FancySender",
     "FancyReceiver",
+    "payload_checksum",
+    "verify_payload",
     "DEFAULT_RTX_TIMEOUT",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_TWAIT",
+    "DEFAULT_BACKOFF_CAP",
 ]
 
 #: Retransmission timeout for Start/Stop control messages.  Must exceed
@@ -60,6 +65,63 @@ DEFAULT_MAX_ATTEMPTS = 5
 
 #: Receiver-side grace period after Stop for late/reordered tagged packets.
 DEFAULT_TWAIT = 0.001
+
+#: Cap factor for the sender's exponential retransmission backoff: the
+#: n-th retransmission waits ``min(2**(n-1), cap) * rtx_timeout``.  With
+#: X = 5 attempts and cap 8 the worst-case declaration latency stays
+#: bounded (0.05 + 0.1 + 0.2 + 0.4 + 0.4 = 1.15 s at the defaults — the
+#: cap bites on the fifth wait, 2**4 = 16 > 8) while
+#: a congested or flapping control channel is not hammered at a fixed
+#: 20 Hz.
+DEFAULT_BACKOFF_CAP = 8
+
+
+def _canon(value: Any) -> str:
+    """Canonical text form of a payload value for checksum hashing.
+
+    Handles the container shapes snapshots actually use — dicts (possibly
+    with tuple keys, e.g. tree hash paths), lists/tuples, ``array``
+    instances — recursively and deterministically; scalars via ``repr``.
+    """
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{k}:{v}"
+            for k, v in sorted((_canon(k), _canon(v)) for k, v in value.items())
+        )
+        return "{" + inner + "}"
+    if isinstance(value, str | bytes | int | float | bool) or value is None:
+        return repr(value)
+    try:
+        return "[" + ",".join(_canon(v) for v in value) + "]"
+    except TypeError:
+        return repr(value)
+
+
+def payload_checksum(payload: dict[str, Any]) -> int:
+    """Deterministic 32-bit checksum of a control payload.
+
+    Stands in for the CRC a hardware implementation would carry in the
+    FANcY header (§5.3): §4.1 assumes a hostile channel, and Table 1
+    lists memory/CRC corruption as a gray-failure symptom, so control
+    messages must be able to *detect* in-flight payload corruption rather
+    than act on garbage.  The ``"csum"`` key itself is excluded, so the
+    checksum can be stored in the payload it covers.
+    """
+    data = _canon({k: v for k, v in payload.items() if k != "csum"})
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:4], "big")
+
+
+def verify_payload(payload: dict[str, Any]) -> bool:
+    """Check a payload against its embedded checksum.
+
+    Payloads without a ``"csum"`` key verify trivially — locally crafted
+    messages (tests, in-process harnesses) are trusted; only wire-borne
+    payloads carry checksums.
+    """
+    csum = payload.get("csum")
+    if csum is None:
+        return True
+    return csum == payload_checksum(payload)
 
 
 class SenderState(enum.Enum):
@@ -140,9 +202,13 @@ class FancySender:
         on_link_failure: Callable[[str, float], None] | None = None,
         report_size_bytes: int = MIN_FRAME_BYTES,
         telemetry: Any | None = None,
+        backoff_cap: int = DEFAULT_BACKOFF_CAP,
+        accept_stale_responses: bool = False,
     ) -> None:
         if session_duration <= 0:
             raise ValueError("session duration must be positive")
+        if backoff_cap < 1:
+            raise ValueError("backoff_cap must be >= 1")
         self.sim = sim
         self.fsm_id = fsm_id
         self.send_control = send_control
@@ -153,12 +219,27 @@ class FancySender:
         self.on_link_failure = on_link_failure
         self.report_size_bytes = report_size_bytes
         self.telemetry = telemetry
+        self.backoff_cap = backoff_cap
+        #: **Chaos-regression fixture only** — disables the stale-session
+        #: check in :meth:`on_control` so reordered Reports from earlier
+        #: sessions are acted upon.  Exists to prove the soak harness
+        #: catches the resulting invariant violations
+        #: (``fancy-repro chaos --regression stale-session``); never set
+        #: this in real experiments.
+        self.accept_stale_responses = accept_stale_responses
         self._timeline = telemetry.timeline if telemetry is not None else None
 
         self.state = SenderState.IDLE
         self.session_id = 0
         self.attempts = 0
         self.sessions_completed = 0
+        #: Hardening counters (always maintained; mirrored to telemetry
+        #: when attached).  ``rejected_corrupt`` counts checksum failures,
+        #: ``rejected_stale`` counts responses from earlier sessions.
+        self.rejected_corrupt = 0
+        self.rejected_stale = 0
+        #: Switch restarts survived (observability for the soak harness).
+        self.restarts = 0
         self._timer: EventHandle | None = None
 
     def _set_state(self, new_state: SenderState) -> None:
@@ -209,14 +290,25 @@ class FancySender:
               size: int = MIN_FRAME_BYTES) -> None:
         payload: dict[str, Any] = {"fsm": self.fsm_id, "session": self.session_id}
         payload.update(extra)
+        payload["csum"] = payload_checksum(payload)
         if self.telemetry is not None:
             _count_control(self.telemetry, self.fsm_id, "sender", kind, size,
                            retransmit=self.attempts > 1)
         self.send_control(kind, payload, size)
 
     def _arm_timer(self, callback: Callable[[], None]) -> None:
+        """(Re)arm the retransmission timer with capped exponential backoff.
+
+        The first transmission of a phase waits one ``rtx_timeout``; each
+        retransmission doubles the wait up to ``backoff_cap`` times the
+        base.  A lossy-but-alive control channel recovers on the first
+        short timeouts, while a dead or flapping one is not hammered at a
+        fixed rate — and the link-failure declaration latency stays
+        bounded because attempts are capped at ``max_attempts``.
+        """
         self._cancel_timer()
-        self._timer = self.sim.schedule(self.rtx_timeout, callback)
+        factor = min(2 ** max(self.attempts - 1, 0), self.backoff_cap)
+        self._timer = self.sim.schedule(self.rtx_timeout * factor, callback)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
@@ -239,12 +331,59 @@ class FancySender:
         self._cancel_timer()
         self._set_state(SenderState.IDLE)
 
+    def restart(self) -> None:
+        """Simulate a switch reboot: wipe transient FSM state, reopen.
+
+        Pending timers and the attempt counter are lost, as they would be
+        on a real restart.  The session id is modelled as persisted (a
+        restart epoch in NVRAM / incremented boot counter), so the new
+        session is strictly greater than anything sent before the crash —
+        this is what keeps stale-session rejection sound across restarts
+        and the session-monotonicity invariant checkable.
+        """
+        self._cancel_timer()
+        self.restarts += 1
+        self.attempts = 0
+        self._set_state(SenderState.IDLE)
+        self._open_session()
+
     # -- events ---------------------------------------------------------------
 
+    def _count_rejected(self, reason: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "fancy_rejected_messages_total",
+                "Control messages rejected by FSM hardening checks",
+                fsm=self.fsm_id, role="sender", reason=reason).inc()
+
     def on_control(self, kind: PacketKind, payload: dict[str, Any]) -> None:
-        """Handle a control message addressed to this FSM."""
+        """Handle a control message addressed to this FSM.
+
+        Hardening order matters: corruption is checked *first* (a flipped
+        session id must count as corruption, not as a stale message), then
+        staleness, then the state machine proper.  A corrupted response is
+        re-requested immediately — the information was on the wire and
+        lost to bit-rot, so waiting out the full RTX timer only adds
+        latency — but re-requests go through ``_send_start``/``_send_stop``
+        and therefore consume attempts: persistent corruption exhausts
+        ``max_attempts`` and is declared a link failure, never an infinite
+        re-request loop.
+        """
+        if not verify_payload(payload):
+            self.rejected_corrupt += 1
+            self._count_rejected("corrupt")
+            if self.state is SenderState.WAIT_ACK:
+                self._send_start()
+            elif self.state is SenderState.WAIT_REPORT:
+                self._send_stop()
+            return
         if payload.get("session") != self.session_id:
-            return  # stale response from an earlier session
+            # Stale response from an earlier session (e.g. a reordered
+            # Report displaced past the session that produced it).
+            self.rejected_stale += 1
+            self._count_rejected("stale")
+            if not self.accept_stale_responses:
+                return
         if kind is PacketKind.FANCY_START_ACK and self.state is SenderState.WAIT_ACK:
             self._cancel_timer()
             self._set_state(SenderState.COUNTING)
@@ -309,6 +448,10 @@ class FancyReceiver:
         self.state = ReceiverState.IDLE
         self.session_id = 0
         self._last_report: dict[str, Any] | None = None
+        #: Hardening counters, mirroring :class:`FancySender`.
+        self.rejected_corrupt = 0
+        self.rejected_stale = 0
+        self.restarts = 0
         self._timer: EventHandle | None = None
 
     def _set_state(self, new_state: ReceiverState) -> None:
@@ -321,8 +464,27 @@ class FancyReceiver:
                 **{"from": old_state.value, "to": new_state.value},
             )
 
+    def _count_rejected(self, reason: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "fancy_rejected_messages_total",
+                "Control messages rejected by FSM hardening checks",
+                fsm=self.fsm_id, role="receiver", reason=reason).inc()
+
     def on_control(self, kind: PacketKind, payload: dict[str, Any]) -> None:
+        if not verify_payload(payload):
+            # Corrupted Start/Stop: drop silently — the sender's RTX timer
+            # retransmits, bounded by its max_attempts.
+            self.rejected_corrupt += 1
+            self._count_rejected("corrupt")
+            return
         session = payload.get("session", -1)
+        if session < self.session_id:
+            # Stale duplicate from an earlier session (reordered or
+            # duplicated Start/Stop): never regress the session id.
+            self.rejected_stale += 1
+            self._count_rejected("stale")
+            return
         if kind is PacketKind.FANCY_START:
             if session > self.session_id:
                 # New session: reset counters and acknowledge.
@@ -368,6 +530,7 @@ class FancyReceiver:
         payload: dict[str, Any] = {"fsm": self.fsm_id, "session": self.session_id}
         if extra:
             payload.update(extra)
+        payload["csum"] = payload_checksum(payload)
         if self.telemetry is not None:
             _count_control(self.telemetry, self.fsm_id, "receiver", kind, size)
         self.send_control(kind, payload, size)
@@ -388,4 +551,23 @@ class FancyReceiver:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._set_state(ReceiverState.IDLE)
+
+    def restart(self) -> None:
+        """Simulate a switch reboot: lose *all* receiver state.
+
+        Unlike the sender (which persists a session epoch), the receiver
+        is genuinely stateless across restarts: session id, cached Report
+        and pending T_wait timer are gone, and counters are zeroed on the
+        next ``begin_session``.  A Stop whose session predates the crash
+        therefore goes unanswered — by design the sender exhausts its
+        attempts and reports a **link failure**, which is exactly how
+        FANcY surfaces downstream state loss (§4.1's safety net).
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.restarts += 1
+        self.session_id = 0
+        self._last_report = None
         self._set_state(ReceiverState.IDLE)

@@ -20,6 +20,7 @@ from typing import Any
 
 from ..simulator.packet import Packet
 from .bloom import stable_hash
+from .counters import coerce_remote_snapshot
 
 __all__ = [
     "ValueReducer",
@@ -103,6 +104,7 @@ class ValueSyncSender:
         return True
 
     def end_session(self, remote: Sequence[int], session_id: int) -> list[Any]:
+        remote = coerce_remote_snapshot(remote)
         detected: list[Any] = []
         for i, local in enumerate(self.values):
             got = remote[i] if remote and i < len(remote) else 0

@@ -193,6 +193,13 @@ class TreeSenderStrategy:
     def end_session(self, remote: dict[NodePath, list[int]],
                     session_id: int) -> list[FailureReport]:
         """Compare against the downstream snapshot and advance the zoom."""
+        if not isinstance(remote, dict):
+            # Defense-in-depth against malformed Report payloads (checksum
+            # verification normally rejects these upstream; see
+            # repro.core.counters.coerce_remote_snapshot): a garbage
+            # snapshot reads as "no remote nodes", i.e. loss semantics,
+            # and must never crash the FSM.
+            remote = {}
         reports = (
             self._end_session_pipelined(remote, session_id)
             if self.params.pipelined

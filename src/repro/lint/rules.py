@@ -1,4 +1,4 @@
-"""The fancylint rule catalog (FCY001–FCY006).
+"""The fancylint rule catalog (FCY001–FCY007).
 
 Every rule guards one of the reproduction's determinism / simulator
 invariants (see the package docstring and ``docs/STATIC_ANALYSIS.md``):
@@ -21,6 +21,13 @@ FCY005    use of a pooled :class:`~repro.simulator.packet.Packet` after
           ``packet.release()`` returned it to the free list.
 FCY006    ``==`` / ``!=`` on simulated-time floats outside the approved
           helpers (ordering comparisons or ``math.isclose``).
+FCY007    chaos/fault code with an *unseeded* ``random.Random()`` or a
+          draw from another object's RNG stream — schedule shrinking is
+          only sound when every fault owns a private ``random.Random``
+          seeded from its original schedule index, so deleting one fault
+          never perturbs the survivors' random streams.  (Global-module
+          draws in chaos code are FCY001's job: its scope covers
+          ``chaos/``.)
 ========  ==============================================================
 
 Rules are small :class:`ast.NodeVisitor` passes over a shared
@@ -134,7 +141,7 @@ class Rule:
         raise NotImplementedError
 
 
-_SIM_SCOPE = ("core/", "simulator/", "experiments/", "traffic/")
+_SIM_SCOPE = ("core/", "simulator/", "experiments/", "traffic/", "chaos/")
 
 
 def _call_name(node: ast.Call, ctx: FileContext) -> str | None:
@@ -539,6 +546,77 @@ class SimTimeEqualityRule(Rule):
         return found
 
 
+# --------------------------------------------------------------------------
+# FCY007 — shared / unseeded RNG streams in chaos fault code
+# --------------------------------------------------------------------------
+
+#: method names that advance a ``random.Random`` stream when called.
+_RNG_DRAW_METHODS = frozenset({
+    "random", "uniform", "randrange", "randint", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "getrandbits", "randbytes", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate",
+})
+#: attribute names under which fault objects conventionally keep their RNG.
+_RNG_ATTR_NAMES = frozenset({"rng", "_rng"})
+
+
+class ChaosRngRule(Rule):
+    code = "FCY007"
+    name = "chaos-shared-rng"
+    summary = (
+        "chaos fault code with an unseeded random.Random() or a draw from "
+        "another object's RNG stream; schedule shrinking is sound only "
+        "when each fault owns a random.Random seeded from its original "
+        "schedule index"
+    )
+    scope = ("chaos/", "simulator/failures.py")
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name == "random.Random":
+                # Global-module draws (random.random(), ...) are FCY001's
+                # job — its scope covers chaos/ — so FCY007 only adds the
+                # cases FCY001 deliberately allows.
+                if not node.args and not node.keywords:
+                    found.append(ctx.diagnostic(
+                        node, self.code,
+                        "unseeded `random.Random()`; the fault's stream would "
+                        "depend on OS entropy and the run would not replay",
+                        hint="seed it from the fault's original schedule index: "
+                             "random.Random(stable_seed(base_seed, 'fault', "
+                             "spec.index))",
+                    ))
+                continue
+            # Cross-object draw: `other.rng.random()` where the receiver is
+            # not `self` borrows a sibling fault's stream — the two faults'
+            # draw sequences become entangled and neither replays alone.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RNG_DRAW_METHODS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in _RNG_ATTR_NAMES
+            ):
+                root: ast.expr = func.value.value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name) and root.id != "self":
+                    owner = ctx.canonical(func.value) or f"{root.id}.{func.value.attr}"
+                    found.append(ctx.diagnostic(
+                        node, self.code,
+                        f"draw from another object's RNG stream `{owner}."
+                        f"{func.attr}()`",
+                        hint="each fault must draw only from its own seeded "
+                             "random.Random (self.rng)",
+                    ))
+        return found
+
+
 #: Registry, in rule-code order.
 ALL_RULES: tuple[Rule, ...] = (
     GlobalRngRule(),
@@ -547,6 +625,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BlockingCallRule(),
     UseAfterReleaseRule(),
     SimTimeEqualityRule(),
+    ChaosRngRule(),
 )
 
 

@@ -20,6 +20,7 @@ experiments are reproducible given a seed.
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Callable, Iterable
 from typing import Any
@@ -55,16 +56,34 @@ class GrayFailure:
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
         self.loss_rate = loss_rate
-        self.start_time = start_time
-        self.end_time = end_time
+        # Single source of truth for the activation window: the window is
+        # stored normalised as ``[_start, _end)`` with ``_end = +inf`` when
+        # open-ended, so :meth:`active` and the hot path in :meth:`__call__`
+        # share one comparison expression (``_start <= now < _end``) instead
+        # of two hand-synchronised copies.  ``start_time`` / ``end_time``
+        # remain available as read-only properties for display/tests.
+        self._start = start_time
+        self._end = math.inf if end_time is None else end_time
         self.affect_control = affect_control
         self.rng = random.Random(seed)
         self.drops = 0
 
+    @property
+    def start_time(self) -> float:
+        return self._start
+
+    @property
+    def end_time(self) -> float | None:
+        return None if self._end == math.inf else self._end
+
     def active(self, now: float) -> bool:
-        if now < self.start_time:
-            return False
-        return self.end_time is None or now < self.end_time
+        """Whether the activation window covers ``now``.
+
+        Must agree exactly with the window gate in :meth:`__call__`; both
+        evaluate the same ``_start <= now < _end`` expression on the
+        normalised fields (guarded by tests/simulator/test_failures.py).
+        """
+        return self._start <= now < self._end
 
     def matches(self, packet: Packet) -> bool:
         """Whether this failure can affect ``packet`` (ignoring loss rate)."""
@@ -74,12 +93,11 @@ class GrayFailure:
         """Link loss-model protocol: return True to drop the packet.
 
         Runs once per packet crossing a failed link, so the activation
-        window from :meth:`active` is inlined (the method call itself is
-        measurable at packet rates; keep the two in sync).
+        window is the same single normalised comparison used by
+        :meth:`active` — one expression, no duplicated logic to keep in
+        sync, and still no extra method call on the fast path.
         """
-        if now < self.start_time:
-            return False
-        if self.end_time is not None and now >= self.end_time:
+        if not self._start <= now < self._end:
             return False
         if packet.kind.is_control and not self.affect_control:
             return False
@@ -192,13 +210,31 @@ class IntermittentFailure:
 
 class CompositeFailure:
     """Combines several failures on one link; a packet is dropped if any
-    component drops it."""
+    component drops it.
+
+    Every component is evaluated for every packet — deliberately **not**
+    ``any()``-short-circuited.  Short-circuiting would make each
+    component's RNG stream (and therefore its ``drops`` counter) depend on
+    the *order* of the components: once an earlier failure drops a packet,
+    later failures would skip their Bernoulli draw and desynchronise.
+    Evaluating all components keeps seeded runs stable under component
+    reordering, at the cost that per-component ``drops`` counters may sum
+    to more than the number of packets actually lost on the link when
+    activation windows overlap (each overlapping component charges the
+    drop to itself).  Link-level accounting (``LinkStats``) remains exact.
+    """
 
     def __init__(self, failures: Iterable[GrayFailure]) -> None:
         self.failures = list(failures)
 
     def __call__(self, packet: Packet, now: float) -> bool:
-        return any(f(packet, now) for f in self.failures)
+        dropped = False
+        for f in self.failures:
+            # No short-circuit: every component must consume its own RNG
+            # draw so streams are order-independent (see class docstring).
+            if f(packet, now):
+                dropped = True
+        return dropped
 
     @property
     def drops(self) -> int:

@@ -50,7 +50,23 @@ from .engine import Simulator
 from .fastpath import CONFIG
 from .packet import Packet, PacketKind
 
-__all__ = ["Receiver", "Link", "LinkStats", "connect_duplex"]
+__all__ = [
+    "Receiver",
+    "Link",
+    "LinkStats",
+    "connect_duplex",
+    "CHAOS_PASS",
+    "CHAOS_DROP",
+    "CHAOS_CONSUMED",
+]
+
+#: Verdicts a chaos model (see :mod:`repro.chaos`) may return from its
+#: ``on_wire(packet, depart_t, link)`` hook.  Plain ints so the link's hot
+#: path stays branch-cheap and the chaos package can import them without
+#: the simulator depending on chaos (layering: chaos -> simulator only).
+CHAOS_PASS = 0  #: deliver normally
+CHAOS_DROP = 1  #: drop on the wire (accounted as ``dropped_chaos``)
+CHAOS_CONSUMED = 2  #: chaos took over delivery (reorder/duplicate/…)
 
 #: Control *responses* riding the strict-priority class (see Link.send);
 #: hoisted to module level so the per-packet membership test does not
@@ -67,13 +83,15 @@ class Receiver(Protocol):
 class LinkStats:
     """Per-link counters for delivered and dropped traffic."""
 
-    __slots__ = ("tx_packets", "tx_bytes", "delivered", "dropped_failure")
+    __slots__ = ("tx_packets", "tx_bytes", "delivered", "dropped_failure",
+                 "dropped_chaos")
 
     def __init__(self) -> None:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.delivered = 0
         self.dropped_failure = 0
+        self.dropped_chaos = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -81,6 +99,7 @@ class LinkStats:
             "tx_bytes": self.tx_bytes,
             "delivered": self.delivered,
             "dropped_failure": self.dropped_failure,
+            "dropped_chaos": self.dropped_chaos,
         }
 
 
@@ -147,6 +166,15 @@ class Link:
         #: Multi-packet bursts coalesced so far (observability).
         self.coalesced_bursts = 0
         self.fused = CONFIG.fused_links if fused is None else fused
+        #: Optional chaos model (see :mod:`repro.chaos.perturbations`):
+        #: a ``on_wire(packet, depart_t, link) -> int`` hook consulted
+        #: *after* the loss model in every send path, returning one of
+        #: :data:`CHAOS_PASS` / :data:`CHAOS_DROP` / :data:`CHAOS_CONSUMED`.
+        #: Set post-construction (``link.chaos = model``) so the simulator
+        #: never imports the chaos package.  Chaos draws happen at the
+        #: pinned departure timestamp, the same discipline as wire-loss
+        #: draws, so fused and reference pipelines see identical streams.
+        self.chaos: Any | None = None
         self._telemetry = telemetry
         if telemetry is not None:
             self.fused = False  # instrumented links take the full pipeline
@@ -161,6 +189,9 @@ class Link:
             self._m_dropped = metrics.counter(
                 "link_dropped_total", "Packets dropped on the wire",
                 link=self.name, reason="failure")
+            self._m_dropped_chaos = metrics.counter(
+                "link_dropped_total", "Packets dropped on the wire",
+                link=self.name, reason="chaos")
             self._m_depth = metrics.gauge(
                 "link_queue_depth", "Serialization-queue occupancy (packets)",
                 link=self.name)
@@ -191,6 +222,16 @@ class Link:
                 if self._telemetry is not None:
                     self._m_dropped.inc()
                 return
+            if self.chaos is not None:
+                # Instant links depart at send time, so the pinned depart
+                # timestamp is simply ``now`` in both pipelines.
+                verdict = self.chaos.on_wire(packet, self.sim.now, self)
+                if verdict:
+                    if verdict == CHAOS_DROP:
+                        stats.dropped_chaos += 1
+                        if self._telemetry is not None:
+                            self._m_dropped_chaos.inc()
+                    return
             if self.fused:
                 # Same-instant burst coalescing: a UDP train (or any
                 # burst of sends from one callback) produces several
@@ -260,6 +301,19 @@ class Link:
                 # observe the dropped packet, so recycle it immediately.
                 packet.release()
                 return
+            if self.chaos is not None:
+                # Same pinned-departure discipline as the loss draw above:
+                # chaos RNG streams stay FIFO-by-departure and identical
+                # to the reference pipeline.
+                verdict = self.chaos.on_wire(packet, depart_t, self)
+                if verdict:
+                    stats = self.stats
+                    stats.tx_packets += 1
+                    stats.tx_bytes += packet.size
+                    if verdict == CHAOS_DROP:
+                        stats.dropped_chaos += 1
+                        packet.release()
+                    return
             self.sim.schedule_at(depart_t + self.delay_s, self._fused_arrive,
                                  packet, depart_t)
             return
@@ -328,6 +382,16 @@ class Link:
             if self._telemetry is not None:
                 self._m_dropped.inc()
             return
+        if self.chaos is not None:
+            # ``sim.now`` *is* the departure instant on this path, so the
+            # chaos model sees the exact timestamp the fused pipeline pins.
+            verdict = self.chaos.on_wire(packet, self.sim.now, self)
+            if verdict:
+                if verdict == CHAOS_DROP:
+                    self.stats.dropped_chaos += 1
+                    if self._telemetry is not None:
+                        self._m_dropped_chaos.inc()
+                return
         self.sim.schedule(self.delay_s, self._deliver, packet)
 
     def _deliver_burst(self, burst: list[Packet]) -> None:

@@ -1,0 +1,336 @@
+"""Unit tests for the wire perturbation models and their composition.
+
+Covers the per-fault RNG discipline, each perturbation's intent, the
+corruption accounting rules (per packet-class, verify-gated, copy
+multiplier), and the packet-conservation bookkeeping on a real link.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.perturbations import (
+    ChaosModel,
+    CorruptField,
+    DelaySpike,
+    Duplicate,
+    LinkFlap,
+    Reorder,
+)
+from repro.core.protocol import payload_checksum, verify_payload
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link
+from repro.simulator.packet import Packet, PacketKind
+
+
+def data(entry="e", seq=0):
+    return Packet(PacketKind.DATA, entry, 400, seq=seq)
+
+
+def tagged(index=3, session=1):
+    pkt = data()
+    pkt.tag = (index,)
+    pkt.tag_session = session
+    pkt.tag_dedicated = True
+    return pkt
+
+
+def report(session=1, snapshot=(5, 7)):
+    pkt = Packet(PacketKind.FANCY_REPORT, None, 64)
+    payload = {"fsm": "fsm", "session": session, "snapshot": list(snapshot)}
+    payload["csum"] = payload_checksum(payload)
+    pkt.payload = payload
+    return pkt
+
+
+class _Sink:
+    def __init__(self):
+        self.rows = []
+
+    def receive(self, packet, in_port):
+        self.rows.append(packet)
+
+
+def make_link(sim, delay_s=0.001):
+    sink = _Sink()
+    link = Link(sim, sink, 0, bandwidth_bps=None, delay_s=delay_s)
+    return link, sink
+
+
+class TestPerturbationBase:
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            Reorder(1.5, 0.01)
+
+    def test_window_gating(self):
+        p = Reorder(1.0, 0.01, start_time=1.0, end_time=2.0, seed=1)
+        assert p.evaluate(data(), 0.999) == (False, 0.0, 0, None)
+        assert p.evaluate(data(), 2.0) == (False, 0.0, 0, None)
+        drop, delay, copies, corrupt = p.evaluate(data(), 1.5)
+        assert not drop and 0.0 <= delay <= 0.01
+
+    def test_kind_scoping(self):
+        p = Reorder(1.0, 0.01, kinds=(PacketKind.DATA,), seed=1)
+        ctrl = Packet(PacketKind.FANCY_STOP, None, 64)
+        assert p.evaluate(ctrl, 0.5) == (False, 0.0, 0, None)
+        assert p.evaluate(data(), 0.5)[1] > 0.0
+
+    def test_private_stream_is_deterministic(self):
+        a = Reorder(0.5, 0.01, seed=9)
+        b = Reorder(0.5, 0.01, seed=9)
+        seq_a = [a.evaluate(data(), 0.1) for _ in range(200)]
+        seq_b = [b.evaluate(data(), 0.1) for _ in range(200)]
+        assert seq_a == seq_b
+
+    def test_events_counter(self):
+        p = Duplicate(1.0, seed=1)
+        for _ in range(4):
+            p.evaluate(data(), 0.1)
+        assert p.events == 4
+
+    def test_describe_is_json_serialisable(self):
+        perts = [
+            Reorder(0.5, 0.01, seed=1),
+            Duplicate(0.2, copies=2, seed=2),
+            CorruptField(0.1, field="session", seed=3),
+            DelaySpike(0.02, jitter_s=0.01, seed=4),
+            LinkFlap([(1.0, 1.5)], seed=5),
+        ]
+        doc = json.dumps(ChaosModel(perts).describe())
+        for p in perts:
+            assert p.kind in doc
+
+
+class TestReorder:
+    def test_displacement_bounded_and_positive(self):
+        p = Reorder(1.0, 0.02, seed=3)
+        for _ in range(100):
+            _, delay, _, _ = p.evaluate(data(), 0.5)
+            assert 0.0 <= delay <= 0.02
+
+    def test_nonpositive_displacement_rejected(self):
+        with pytest.raises(ValueError):
+            Reorder(1.0, 0.0)
+
+
+class TestDuplicate:
+    def test_copies_intent(self):
+        p = Duplicate(1.0, copies=3, seed=1)
+        assert p.evaluate(data(), 0.1) == (False, 0.0, 3, None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Duplicate(1.0, copies=0)
+        with pytest.raises(ValueError):
+            Duplicate(1.0, offset_s=0.0)
+
+
+class TestCorruptField:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            CorruptField(1.0, field="ttl")
+
+    def test_seq_flip(self):
+        p = CorruptField(1.0, field="seq", seed=1)
+        pkt = data(seq=0)
+        _, _, _, corrupt = p.evaluate(pkt, 0.1)
+        assert corrupt(pkt) == "data"
+        assert pkt.seq != 0
+
+    def test_entry_replaced_by_sentinel(self):
+        p = CorruptField(1.0, field="entry", seed=1)
+        pkt = data("victim")
+        _, _, _, corrupt = p.evaluate(pkt, 0.1)
+        assert corrupt(pkt) == "data"
+        assert pkt.entry == CorruptField.CORRUPT_ENTRY
+
+    def test_tag_corruption_needs_dedicated_tag(self):
+        p = CorruptField(1.0, field="tag", seed=1)
+        assert p.evaluate(data(), 0.1) == (False, 0.0, 0, None)  # untagged
+        pkt = tagged(index=3)
+        _, _, _, corrupt = p.evaluate(pkt, 0.1)
+        assert corrupt(pkt) == "data"
+        assert pkt.tag[0] != 3  # xor with 1..7 always changes the index
+        assert pkt.tag_dedicated
+
+    def test_session_corruption_breaks_checksum(self):
+        p = CorruptField(1.0, field="session", seed=1)
+        pkt = report(session=4)
+        original_payload = pkt.payload
+        _, _, _, corrupt = p.evaluate(pkt, 0.1)
+        assert corrupt(pkt) == "control"
+        assert not verify_payload(pkt.payload)
+        # corrupted by copy: the original dict must not be mutated
+        assert pkt.payload is not original_payload
+        assert original_payload["session"] == 4
+        assert verify_payload(original_payload)
+
+    def test_snapshot_corruption_breaks_checksum(self):
+        p = CorruptField(1.0, field="snapshot", seed=2)
+        pkt = report(snapshot=(5, 7))
+        _, _, _, corrupt = p.evaluate(pkt, 0.1)
+        assert corrupt(pkt) == "control"
+        assert not verify_payload(pkt.payload)
+        assert pkt.payload["snapshot"] != [5, 7]
+
+    def test_control_fields_scope_to_payloads_carrying_them(self):
+        p = CorruptField(1.0, field="snapshot", seed=1)
+        start = Packet(PacketKind.FANCY_START, None, 64)
+        payload = {"fsm": "fsm", "session": 1}
+        payload["csum"] = payload_checksum(payload)
+        start.payload = payload  # Start has no snapshot key
+        assert p.evaluate(start, 0.1) == (False, 0.0, 0, None)
+
+
+class TestDelaySpike:
+    def test_pure_spike_is_deterministic(self):
+        p = DelaySpike(0.05, seed=1)
+        assert p.evaluate(data(), 0.1) == (False, 0.05, 0, None)
+
+    def test_jitter_bounded(self):
+        p = DelaySpike(0.05, jitter_s=0.01, seed=1)
+        for _ in range(50):
+            _, delay, _, _ = p.evaluate(data(), 0.1)
+            assert 0.05 <= delay <= 0.06
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelaySpike(0.0)
+        with pytest.raises(ValueError):
+            DelaySpike(0.01, jitter_s=-1.0)
+
+
+class TestLinkFlap:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFlap([])
+        with pytest.raises(ValueError):
+            LinkFlap([(2.0, 1.0)])
+
+    def test_down_windows_and_envelope(self):
+        p = LinkFlap([(1.0, 1.5), (3.0, 3.2)])
+        assert p.start_time == 1.0 and p.end_time == 3.2
+        assert p.is_down(1.2) and p.is_down(3.1)
+        assert not p.is_down(2.0) and not p.is_down(3.2)
+
+    def test_drops_everything_in_window_including_control(self):
+        p = LinkFlap([(1.0, 1.5)])
+        ctrl = Packet(PacketKind.FANCY_START, None, 64)
+        assert p.evaluate(ctrl, 1.2) == (True, 0.0, 0, None)
+        assert p.evaluate(data(), 1.2) == (True, 0.0, 0, None)
+        assert p.evaluate(data(), 2.0) == (False, 0.0, 0, None)
+
+
+# ---------------------------------------------------------------------------
+# ChaosModel composition on a real link.
+# ---------------------------------------------------------------------------
+
+
+class TestChaosModelOnLink:
+    def test_attach_is_single_link(self, sim):
+        link_a, _ = make_link(sim)
+        link_b, _ = make_link(sim)
+        model = ChaosModel([Duplicate(1.0, seed=1)])
+        model.attach(link_a)
+        with pytest.raises(ValueError):
+            model.attach(link_b)
+
+    def test_drop_wins_over_corruption(self, sim):
+        link, sink = make_link(sim)
+        model = ChaosModel([
+            LinkFlap([(0.0, 1.0)], seed=1),
+            CorruptField(1.0, field="session", seed=2),
+        ]).attach(link)
+        link.send(report())
+        sim.run()
+        assert sink.rows == []
+        assert link.stats.dropped_chaos == 1
+        assert model.corrupted_control == 0  # nothing corrupt was *delivered*
+
+    def test_corruption_counted_once_per_packet_class(self, sim):
+        link, sink = make_link(sim)
+        model = ChaosModel([
+            CorruptField(1.0, field="session", seed=1),
+            CorruptField(1.0, field="snapshot", seed=2),
+        ]).attach(link)
+        link.send(report())
+        sim.run()
+        assert len(sink.rows) == 1
+        assert not verify_payload(sink.rows[0].payload)
+        # two corrupters fired, one control packet delivered: counted once
+        assert model.corrupted_control == 1
+
+    def test_symmetric_double_flip_counts_zero(self, sim):
+        # Two same-seeded session corrupters flip the same bit twice: the
+        # delivered payload verifies, so nothing may be charged against
+        # the FSMs' rejection counters (integrity invariant soundness).
+        link, sink = make_link(sim)
+        model = ChaosModel([
+            CorruptField(1.0, field="session", seed=7),
+            CorruptField(1.0, field="session", seed=7),
+        ]).attach(link)
+        link.send(report(session=4))
+        sim.run()
+        assert len(sink.rows) == 1
+        assert verify_payload(sink.rows[0].payload)
+        assert sink.rows[0].payload["session"] == 4
+        assert model.corrupted_control == 0
+
+    def test_duplicates_and_conservation(self, sim):
+        link, sink = make_link(sim)
+        model = ChaosModel([Duplicate(1.0, copies=2, seed=1)]).attach(link)
+        for i in range(3):
+            link.send(data(seq=i))
+        sim.run()
+        assert len(sink.rows) == 9
+        assert model.dup_scheduled == 6
+        s = link.stats
+        assert s.delivered == s.tx_packets - s.dropped_failure \
+            - s.dropped_chaos + model.dup_scheduled
+
+    def test_copies_deliver_the_corruption_with_multiplier(self, sim):
+        link, sink = make_link(sim)
+        model = ChaosModel([
+            CorruptField(1.0, field="session", seed=1),
+            Duplicate(1.0, copies=1, seed=2),
+        ]).attach(link)
+        link.send(report())
+        sim.run()
+        assert len(sink.rows) == 2
+        assert all(not verify_payload(p.payload) for p in sink.rows)
+        assert model.corrupted_control == 2  # original + copy
+
+    def test_displacement_delays_delivery(self, sim):
+        link, sink = make_link(sim, delay_s=0.001)
+        arrivals = []
+        sink.receive = lambda p, port: arrivals.append(sim.now)
+        model = ChaosModel([DelaySpike(0.05, seed=1)]).attach(link)
+        sim.schedule_at(0.1, link.send, data())
+        sim.run()
+        assert model.displaced == 1
+        assert arrivals == [pytest.approx(0.151)]
+
+    def test_perturbation_order_does_not_change_outcomes(self, sim):
+        """Evaluate-all composition: streams are order-independent."""
+
+        def run(order):
+            local = Simulator()
+            link, sink = make_link(local)
+            rows = []
+            sink.receive = lambda p, port: rows.append((p.seq, round(local.now, 9)))
+            perts = [
+                Reorder(0.4, 0.01, seed=11),
+                Duplicate(0.3, copies=1, seed=12),
+                CorruptField(0.5, field="seq", seed=13),
+            ]
+            if order == "reversed":
+                perts = list(reversed(perts))
+            model = ChaosModel(perts).attach(link)
+            for i in range(200):
+                local.schedule_at(0.001 * i, link.send, data(seq=i))
+            local.run()
+            return (rows, model.stats(), link.stats.as_dict())
+
+        assert run("forward") == run("reversed")

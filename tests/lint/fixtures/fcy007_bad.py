@@ -1,0 +1,13 @@
+"""FCY007 violations: unseeded / borrowed RNG streams in fault code."""
+
+import random
+
+
+class Fault:
+    def __init__(self) -> None:
+        self.rng = random.Random()  # unseeded: stream depends on OS entropy
+
+    def fire(self, sibling, schedule):
+        jitter = sibling.rng.uniform(0.0, 1.0)  # sibling fault's stream
+        pick = schedule.faults.rng.choice([1, 2])  # nested owner chain
+        return jitter + pick

@@ -1,0 +1,18 @@
+"""FCY007-clean: every fault owns a Random seeded from its schedule index."""
+
+import random
+
+from repro.runtime import stable_seed
+
+
+class Fault:
+    def __init__(self, base_seed: int, index: int) -> None:
+        self.rng = random.Random(stable_seed(base_seed, "fault", index))
+
+    def fire(self) -> float:
+        return self.rng.uniform(0.0, 1.0)
+
+
+def draw_local(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

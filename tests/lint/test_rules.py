@@ -19,6 +19,7 @@ EXPECTED_BAD = {
     "FCY004": 3,
     "FCY005": 1,
     "FCY006": 2,
+    "FCY007": 3,
 }
 
 
@@ -85,6 +86,42 @@ class TestScoping:
     def test_unscoped_files_get_every_rule(self):
         source = "import time\nSTAMP = time.time()\n"
         assert [d.code for d in lint_source(source, rel_path=None)] == ["FCY002"]
+
+    def test_chaos_rng_rule_scoped_to_fault_code(self):
+        source = "import random\nR = random.Random()\n"
+        assert [d.code for d in lint_source(source, rel_path="chaos/perturbations.py")] == ["FCY007"]
+        assert [d.code for d in lint_source(source, rel_path="simulator/failures.py")] == ["FCY007"]
+        # runtime code may take an OS-entropy Random (nothing replays it)
+        assert lint_source(source, rel_path="runtime/jobs.py") == []
+
+    def test_global_rng_rule_covers_chaos_scope(self):
+        source = "import random\nx = random.random()\n"
+        codes = [d.code for d in lint_source(source, rel_path="chaos/harness.py")]
+        assert codes == ["FCY001"]
+
+
+class TestChaosRngStreams:
+    """FCY007: per-fault seeded streams; no borrowing, no entropy."""
+
+    def test_own_stream_draw_allowed(self):
+        source = (
+            "class F:\n"
+            "    def fire(self):\n"
+            "        return self.rng.random()\n"
+        )
+        assert lint_source(source, rel_path="chaos/x.py") == []
+
+    def test_local_name_draw_allowed(self):
+        source = "def f(rng):\n    return rng.uniform(0.0, 1.0)\n"
+        assert lint_source(source, rel_path="chaos/x.py") == []
+
+    def test_sibling_stream_draw_flagged(self):
+        source = "def f(other):\n    return other.rng.randrange(7)\n"
+        assert [d.code for d in lint_source(source, rel_path="chaos/x.py")] == ["FCY007"]
+
+    def test_non_draw_attribute_access_allowed(self):
+        source = "def f(other):\n    return other.rng.getstate()\n"
+        assert lint_source(source, rel_path="chaos/x.py") == []
 
 
 class TestUseAfterReleaseControlFlow:

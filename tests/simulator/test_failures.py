@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.simulator.failures import (
@@ -112,6 +114,47 @@ class TestControlPlaneFailure:
         assert f(control(PacketKind.FANCY_START), 0.0) is False
 
 
+class TestActivationWindowAgreement:
+    """``active(t)`` and the ``__call__`` gate share one normalised window
+    expression; with a rate-1.0 model and a matching packet the two must
+    agree at every instant, boundaries included."""
+
+    BOUNDARY_TIMES = [0.0, 0.999, 1.0 - 1e-12, 1.0, 1.5, 2.0 - 1e-12, 2.0,
+                      2.000001, 10.0, math.inf]
+
+    def models(self, **window):
+        return [
+            EntryLossFailure({"e"}, 1.0, **window),
+            UniformLossFailure(1.0, **window),
+            PacketPropertyFailure(lambda p: True, 1.0, **window),
+            ControlPlaneFailure(1.0, **window),
+        ]
+
+    def packet_for(self, f):
+        return control() if isinstance(f, ControlPlaneFailure) else data()
+
+    def test_closed_window(self):
+        for f in self.models(start_time=1.0, end_time=2.0):
+            for t in self.BOUNDARY_TIMES:
+                assert f(self.packet_for(f), t) == f.active(t), (f, t)
+        # the window is half-open: [start, end)
+        f = UniformLossFailure(1.0, start_time=1.0, end_time=2.0)
+        assert f.active(1.0) and not f.active(2.0)
+
+    def test_open_ended_window(self):
+        for f in self.models(start_time=1.0):
+            assert f.end_time is None
+            for t in self.BOUNDARY_TIMES:
+                assert f(self.packet_for(f), t) == f.active(t), (f, t)
+        f = UniformLossFailure(1.0, start_time=1.0)
+        assert not f.active(0.999) and f.active(1e9)
+
+    def test_properties_reflect_normalised_window(self):
+        f = UniformLossFailure(1.0, start_time=0.5, end_time=3.0)
+        assert (f.start_time, f.end_time) == (0.5, 3.0)
+        assert UniformLossFailure(1.0).end_time is None
+
+
 class TestCompositeFailure:
     def test_any_component_drops(self):
         f = CompositeFailure([
@@ -128,3 +171,37 @@ class TestCompositeFailure:
         ])
         f(data("a"), 0.0)
         assert f.drops == 1
+
+    def test_order_independent_drop_sequences(self):
+        """Every component is evaluated for every packet — no ``any()``
+        short-circuit — so same-seed components produce identical drop
+        sequences and per-component counters under reordering."""
+        def components():
+            return (EntryLossFailure({"e"}, 0.6, seed=11),
+                    UniformLossFailure(0.3, seed=22))
+
+        a_entry, a_uniform = components()
+        b_entry, b_uniform = components()
+        ab = CompositeFailure([a_entry, a_uniform])
+        ba = CompositeFailure([b_uniform, b_entry])
+        seq_ab = [ab(data(), 0.0) for _ in range(2_000)]
+        seq_ba = [ba(data(), 0.0) for _ in range(2_000)]
+        assert seq_ab == seq_ba
+        assert a_entry.drops == b_entry.drops > 0
+        assert a_uniform.drops == b_uniform.drops > 0
+
+    def test_all_components_draw_even_after_a_drop(self):
+        """An earlier drop must not starve later components of their
+        Bernoulli draws (that is what keeps seeded runs stable)."""
+        blackhole = EntryLossFailure({"e"}, 1.0, seed=1)
+        behind_alone = UniformLossFailure(0.5, seed=9)
+        behind_composed = UniformLossFailure(0.5, seed=9)
+        composite = CompositeFailure([blackhole, behind_composed])
+        alone_seq = [behind_alone(data(), 0.0) for _ in range(500)]
+        for _ in range(500):
+            assert composite(data(), 0.0)  # blackhole always drops
+        # the shadowed component consumed the identical RNG stream
+        assert behind_composed.drops == sum(alone_seq)
+        post_alone = [behind_alone.rng.random() for _ in range(5)]
+        post_composed = [behind_composed.rng.random() for _ in range(5)]
+        assert post_alone == post_composed
