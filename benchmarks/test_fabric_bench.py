@@ -1,0 +1,134 @@
+"""Benchmark: network-wide fabric closed loop (docs/FABRIC.md).
+
+Runs the quick ring and fat-tree cases of ``repro.experiments.fabric``
+in process and records, per case:
+
+* **sessions/sec** — completed FANcY counting sessions per wall-second
+  (the fabric's concurrency throughput: 64 monitors on the k=4 fat
+  tree all cycling their dedicated sessions);
+* **detection latency** — failure to first flag on the failed link;
+* **recovery fraction** — victim goodput after reroute / before
+  failure, the Figure 10 analogue.
+
+Writes ``results/fabric_bench.txt`` (human-readable) and
+``results/BENCH_fabric.json`` (machine-readable).  CI's fabric-smoke
+job uploads the JSON and gates on a >30% regression against the
+committed record (``test_fabric_regression_gate``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import fabric
+
+#: Quick configuration shared by the writer and the gate, so the
+#: committed record and the live measurement are comparable.
+QUICK = replace(fabric.FabricExpConfig(), duration_s=3.0,
+                fat_tree_duration_s=2.0)
+
+
+def _timed_case(case: str, rounds: int = 2):
+    """Best-of-N run of one closed-loop case; returns (result, wall_s)."""
+    runner = (fabric.run_ring_case if case == "ring"
+              else fabric.run_fat_tree_case)
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = runner(QUICK)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[1]:
+            best = (result, wall)
+    return best
+
+
+def _case_record(result: dict, wall_s: float, sim_s: float) -> dict:
+    total_sessions = result["sessions_completed_min"] * result["n_sessions"]
+    return {
+        "n_sessions": result["n_sessions"],
+        "sessions_per_wall_s": round(total_sessions / wall_s, 1),
+        "detection_latency_s": round(result["detection_delay"], 4),
+        "reroute_latency_s": round(result["reroute_delay"], 4),
+        "recovery_fraction": round(result["recovery_fraction"], 3),
+        "attribution_correct": result["attribution_correct"],
+        "wall_s": round(wall_s, 2),
+        "sim_s": sim_s,
+    }
+
+
+def test_fabric_regression_gate():
+    """CI regression gate against the committed ``BENCH_fabric.json``.
+
+    Skipped unless ``BENCH_FABRIC_BASELINE`` points at the committed
+    record (the fabric-smoke job sets it).  Defined before the writer
+    test so it always reads the checked-in record.  Gates:
+
+    * fat-tree session throughput >= 0.7x committed (>30% regression);
+    * ring recovery fraction >= 0.7x committed;
+    * ring detection latency <= 1.3x committed.
+    """
+    baseline_path = os.environ.get("BENCH_FABRIC_BASELINE")
+    if not baseline_path:
+        pytest.skip("BENCH_FABRIC_BASELINE not set (CI-only gate)")
+    committed = json.loads(pathlib.Path(baseline_path).read_text())
+
+    ring_result, ring_wall = _timed_case("ring")
+    ft_result, ft_wall = _timed_case("fat_tree")
+
+    ft_live = _case_record(ft_result, ft_wall, QUICK.fat_tree_duration_s)
+    floor = 0.7 * committed["fat_tree"]["sessions_per_wall_s"]
+    assert ft_live["sessions_per_wall_s"] >= floor, (
+        f"fabric session throughput regressed >30%: "
+        f"{ft_live['sessions_per_wall_s']:,} sessions/s live vs "
+        f"{committed['fat_tree']['sessions_per_wall_s']:,} committed")
+
+    ring_live = _case_record(ring_result, ring_wall, QUICK.duration_s)
+    assert (ring_live["recovery_fraction"]
+            >= 0.7 * committed["ring"]["recovery_fraction"]), (
+        f"recovered goodput regressed >30%: "
+        f"{ring_live['recovery_fraction']} vs "
+        f"{committed['ring']['recovery_fraction']} committed")
+    assert (ring_live["detection_latency_s"]
+            <= 1.3 * committed["ring"]["detection_latency_s"]), (
+        f"detection latency regressed >30%: "
+        f"{ring_live['detection_latency_s']}s vs "
+        f"{committed['ring']['detection_latency_s']}s committed")
+
+
+def test_fabric_bench(save_artifact, results_dir):
+    ring_result, ring_wall = _timed_case("ring")
+    ft_result, ft_wall = _timed_case("fat_tree")
+
+    record = {
+        "schema": "bench-fabric/1",
+        "ring": _case_record(ring_result, ring_wall, QUICK.duration_s),
+        "fat_tree": _case_record(ft_result, ft_wall,
+                                 QUICK.fat_tree_duration_s),
+    }
+    (results_dir / "BENCH_fabric.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    lines = ["fabric closed loop — per-case wall-clock and recovery", ""]
+    for case in ("ring", "fat_tree"):
+        r = record[case]
+        lines.append(
+            f"  {case:<9}: {r['n_sessions']:>3} sessions, "
+            f"{r['sessions_per_wall_s']:>8,.1f} sessions/s, "
+            f"detect {r['detection_latency_s'] * 1e3:.0f} ms, "
+            f"reroute {r['reroute_latency_s'] * 1e3:.0f} ms, "
+            f"recovered {r['recovery_fraction'] * 100:.0f}% "
+            f"({r['sim_s']}s sim in {r['wall_s']}s wall)")
+    save_artifact("fabric_bench", "\n".join(lines))
+
+    # Shape assertions: the loop must actually close in both fabrics.
+    assert ring_result["attribution_correct"]
+    assert ring_result["recovery_fraction"] > 0.8
+    assert ft_result["attribution_correct"]
+    assert ft_result["n_sessions"] >= 32
+    assert ft_result["recovery_fraction"] > 0.8

@@ -45,10 +45,11 @@ class FastRerouteApp:
         self.switch = monitor.upstream
         self.rerouted_packets = 0
         self.reroute_times: dict[Any, float] = {}
-        if self.switch.forwarding_override is not None:
-            raise RuntimeError(f"{self.switch.name} already has a forwarding override")
         self._installed = self._decide  # bound once, for identity checks
-        self.switch.forwarding_override = self._installed
+        # Appended to the switch's override chain: several apps can
+        # protect different links of one switch (multi-link protection),
+        # with the earliest-installed app winning per packet.
+        self.switch.add_forwarding_override(self._installed)
 
     def _decide(self, packet: Packet) -> Optional[int]:
         if packet.kind is not PacketKind.DATA or packet.reverse:
@@ -68,5 +69,4 @@ class FastRerouteApp:
         return self.reroute_times.get(entry)
 
     def uninstall(self) -> None:
-        if self.switch.forwarding_override is self._installed:
-            self.switch.forwarding_override = None
+        self.switch.remove_forwarding_override(self._installed)

@@ -51,6 +51,8 @@ __all__ = [
     "Materialized",
     "generate_schedule",
     "materialize",
+    "build_loss",
+    "build_perturbation",
     "ATTRIBUTION_SLACK_S",
     "PERSISTENT_MIN_RATE",
 ]
@@ -382,6 +384,22 @@ def _build_loss(spec: FaultSpec, seed: int) -> GrayFailure:
     if spec.kind == "control_loss":
         return ControlPlaneFailure(float(p["rate"]), **window)
     raise ValueError(f"not a loss kind: {spec.kind!r}")
+
+
+def build_loss(spec: FaultSpec, seed: int) -> GrayFailure:
+    """Public loss-model factory for one spec (used by fabric chaos).
+
+    ``seed`` must be ``stable_seed(base_seed, "fault", spec.index)`` —
+    the same derivation :func:`materialize` uses — so a spec replays the
+    identical RNG stream whether it runs on the two-switch topology or
+    addressed to a fabric link.
+    """
+    return _build_loss(spec, seed)
+
+
+def build_perturbation(spec: FaultSpec, seed: int) -> Perturbation:
+    """Public perturbation factory for one spec (see :func:`build_loss`)."""
+    return _build_perturbation(spec, seed)
 
 
 def materialize(

@@ -35,6 +35,7 @@ from typing import Callable, Optional, Sequence
 
 from .experiments import (
     baselines52,
+    fabric,
     table1,
     fig2,
     fig7,
@@ -71,6 +72,7 @@ EXPERIMENTS: dict[str, Callable[[bool, RuntimeContext], str]] = {
     "baselines": lambda quick, runtime: baselines52.main(),
     "overhead": lambda quick, runtime: overhead.main(),
     "table4": lambda quick, runtime: table4.main(),
+    "fabric": lambda quick, runtime: fabric.main(quick=quick, runtime=runtime),
     "fig10": lambda quick, runtime: fig10.main(quick=quick, runtime=runtime),
     "fig11": lambda quick, runtime: fig11.main(quick=quick, runtime=runtime),
     "table5": lambda quick, runtime: table5.main(),

@@ -16,6 +16,7 @@
 | ``fig10``     | Figure 10 — fast-rerouting case study            |
 | ``fig11``     | Figure 11 — tree parameter sensitivity           |
 | ``table5``    | Table 5 — CAIDA trace characteristics            |
+| ``fabric``    | network-wide closed loop (docs/FABRIC.md)        |
 
 Each module exposes ``run(...) -> dict`` and ``render(result) -> str``;
 ``main()`` prints the rendered artifact.  ``quick=True`` (the default)
@@ -25,6 +26,7 @@ sweeps are available through each module's config dataclass and the CLI.
 
 from . import (  # noqa: F401
     baselines52,
+    fabric,
     fig2,
     fig7,
     fig8,
@@ -49,5 +51,5 @@ __all__ = [
     "table1",
     "table2", "fig2", "fig7", "fig8", "fig9", "uniform", "table3",
     "baselines52", "overhead", "table4", "fig10", "fig11", "table5",
-    "runner", "metrics", "report", "heatmaps", "telemetry_report",
+    "fabric", "runner", "metrics", "report", "heatmaps", "telemetry_report",
 ]

@@ -1,0 +1,251 @@
+"""Experiment fabric — network-wide FANcY with detection→reroute loop.
+
+Scales the paper's Figure 10 case study from one monitored link to a
+fabric (docs/FABRIC.md):
+
+* **ring** — a six-switch ring with FANcY on every directed link.  A
+  gray failure hits one link on a victim entry's path; the fabric
+  controller installs a loop-free repair path and the victim's goodput
+  recovers, while an innocent entry sharing the path is never touched —
+  the single-link Figure 10 contract, reproduced through the generic
+  fabric machinery.
+* **fat_tree** — a k=4 fat tree with FANcY on all 64 directed links
+  (≥ 32 concurrent counting sessions).  A failure on one link of a
+  flow's ECMP path must be flagged by *exactly* that link's monitor
+  (per-link attribution), rerouted around, and the whole run must be
+  deterministic: the per-link detection records are a pure function of
+  the seed.
+
+Both cases report detection latency (failure → first flag), reroute
+latency (failure → repair path installed) and the recovered goodput
+fraction, the fabric analogue of Figure 10's recovery plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from ..core.detector import FancyConfig
+from ..core.output import FailureKind
+from ..fabric.builders import fat_tree, ring
+from ..fabric.deployment import FabricDeployment
+from ..fabric.graph import FabricNetwork
+from ..fabric.reroute import FabricRerouteController
+from ..runtime import Job, RuntimeContext, fingerprint, resolve, run_sweep, stable_seed
+from ..simulator.apps import ThroughputMeter
+from ..simulator.engine import Simulator
+from ..simulator.failures import EntryLossFailure
+from ..simulator.udp import UdpSource
+
+__all__ = ["FabricExpConfig", "run_ring_case", "run_fat_tree_case", "run",
+           "render", "main"]
+
+
+@dataclass(frozen=True)
+class FabricExpConfig:
+    ring_size: int = 6
+    fat_tree_k: int = 4
+    n_entries: int = 4               #: fat-tree entries (one per pod pair)
+    rate_bps: float = 640_000.0
+    packet_size: int = 400
+    failure_time_s: float = 1.0
+    loss_rate: float = 1.0
+    duration_s: float = 4.0
+    fat_tree_duration_s: float = 2.5
+    poll_interval_s: float = 0.050
+    dedicated_session_s: float = 0.050
+    link_delay_s: float = 0.010
+    bin_s: float = 0.1
+    seed: int = 0
+
+
+def _mean_bps(series: list[tuple[float, float]], lo: float, hi: float) -> float:
+    window = [bps for t, bps in series if lo <= t < hi]
+    return sum(window) / len(window) if window else 0.0
+
+
+def _first_flag_time(deployment: FabricDeployment, link_id: str,
+                     entry: Any) -> Optional[float]:
+    report = deployment.monitors[link_id].log.first_report(
+        FailureKind.DEDICATED_ENTRY, entry)
+    return report.time if report is not None else None
+
+
+def _close_the_loop(
+    config: FabricExpConfig,
+    net: FabricNetwork,
+    entries: dict[Any, tuple[str, str]],
+    victim: Any,
+    failed_link: str,
+    duration_s: float,
+) -> dict[str, Any]:
+    """Shared closed-loop body: monitors everywhere, one failure, reroute."""
+    sim = net.sim
+    for entry, (src, dst) in entries.items():
+        net.add_entry(entry, src, dst)
+
+    fancy = FancyConfig(
+        high_priority=list(entries),
+        tree_params=None,  # dedicated counters only: 64 cheap sessions
+        dedicated_session_s=config.dedicated_session_s,
+        seed=stable_seed(config.seed, "fabric-exp", bits=31),
+    )
+    deployment = FabricDeployment(net, config=fancy)
+    controller = FabricRerouteController(
+        net, deployment, poll_interval_s=config.poll_interval_s)
+
+    a, b = net.endpoints(failed_link)
+    net.link(a, b).loss_model = EntryLossFailure(
+        {victim}, config.loss_rate, start_time=config.failure_time_s,
+        seed=stable_seed(config.seed, "failure", failed_link, bits=31),
+    )
+
+    meters: dict[str, ThroughputMeter] = {}
+    for entry, (src, dst) in entries.items():
+        if dst not in meters:
+            meters[dst] = ThroughputMeter(sim, bin_s=config.bin_s,
+                                          per_entry=True)
+            net.host(dst).rx_tap = meters[dst]
+    for i, entry in enumerate(entries):
+        src, _dst = entries[entry]
+        UdpSource(
+            sim, net.host(src).send, entry, flow_id=i,
+            rate_bps=config.rate_bps, packet_size=config.packet_size,
+            jitter=0.1, seed=stable_seed(config.seed, "src", i),
+        ).start(delay=0.001 * i)
+
+    deployment.start(stagger_s=0.001)
+    controller.start()
+    sim.run(until=duration_s)
+
+    victim_dst = entries[victim][1]
+    series = meters[victim_dst].entry_series_bps(victim)
+    detect_at = _first_flag_time(deployment, failed_link, victim)
+    reroute_at = controller.reroute_times.get((failed_link, victim))
+    pre = _mean_bps(series, 0.3, config.failure_time_s)
+    post = (0.0 if reroute_at is None else
+            _mean_bps(series, reroute_at + 0.3, duration_s))
+    flagged = deployment.flagged()
+    return {
+        "n_sessions": deployment.n_sessions,
+        "failed_link": failed_link,
+        "victim": victim,
+        "detection_delay": (None if detect_at is None
+                            else detect_at - config.failure_time_s),
+        "reroute_delay": (None if reroute_at is None
+                          else reroute_at - config.failure_time_s),
+        "recovery_fraction": (post / pre) if pre > 0 else None,
+        "rerouted_packets": controller.rerouted_packets,
+        "flagged_links": {lid: [repr(e) for e in ents]
+                          for lid, ents in flagged.items()},
+        "attribution_correct": list(flagged) == [failed_link]
+        and all(list(ents) == [victim] for ents in flagged.values()),
+        "sessions_completed_min": min(
+            deployment.sessions_completed().values()),
+        "detections": deployment.detection_records(),
+    }
+
+
+def run_ring_case(config: Optional[FabricExpConfig] = None) -> dict[str, Any]:
+    """Ring closed loop: failure on the victim path, Figure 10 contract."""
+    config = config or FabricExpConfig()
+    sim = Simulator()
+    net = FabricNetwork(sim, ring(config.ring_size),
+                        link_delay_s=config.link_delay_s)
+    # s0 → s2 has a unique two-hop shortest path, so the failed link
+    # s1->s2 is guaranteed on it; the innocent entry shares the path.
+    entries = {"victim": ("s0", "s2"), "innocent": ("s0", "s2")}
+    return _close_the_loop(config, net, entries, "victim", "s1->s2",
+                           config.duration_s)
+
+
+def run_fat_tree_case(config: Optional[FabricExpConfig] = None) -> dict[str, Any]:
+    """Fat-tree closed loop: ≥32 concurrent sessions, per-link attribution."""
+    config = config or FabricExpConfig()
+    k = config.fat_tree_k
+    sim = Simulator()
+    net = FabricNetwork(sim, fat_tree(k), link_delay_s=config.link_delay_s)
+    entries: dict[Any, tuple[str, str]] = {}
+    for i in range(config.n_entries):
+        src = f"edge{i % k}-0"
+        dst = f"edge{(i + 1) % k}-1"
+        entries[f"hp/{i}"] = (src, dst)
+    for entry, (src, dst) in entries.items():
+        net.add_entry(entry, src, dst)
+    # Fail the second hop (aggregation → core) of the victim flow's
+    # actual ECMP path, so exactly one core-facing monitor must flag it.
+    victim = "hp/0"
+    path = net.flow_path(victim, flow_id=0)
+    failed_link = net.link_id(path[1], path[2])
+    # _close_the_loop re-registers entries; hand it a fresh network.
+    sim = Simulator()
+    net = FabricNetwork(sim, fat_tree(k), link_delay_s=config.link_delay_s)
+    return _close_the_loop(config, net, entries, victim, failed_link,
+                           config.fat_tree_duration_s)
+
+
+def _case_worker(payload: tuple) -> dict[str, Any]:
+    """Top-level (picklable, cache-friendly) case dispatcher."""
+    case, config = payload
+    runner = run_ring_case if case == "ring" else run_fat_tree_case
+    return runner(config)
+
+
+def run(config: Optional[FabricExpConfig] = None, quick: bool = True,
+        runtime: Optional[RuntimeContext] = None) -> dict:
+    config = config or FabricExpConfig()
+    if quick:
+        config = replace(config, duration_s=3.0, fat_tree_duration_s=2.0)
+    jobs = [
+        Job(
+            key=case,
+            payload=(case, config),
+            fingerprint=fingerprint("fabric", config, case),
+            sim_s=(config.duration_s if case == "ring"
+                   else config.fat_tree_duration_s),
+        )
+        for case in ("ring", "fat_tree")
+    ]
+    sweep = run_sweep(jobs, _case_worker, runtime=resolve(runtime),
+                      label="fabric")
+    cases = {job.key: sweep.results[job.key] for job in jobs
+             if job.key in sweep.results}
+    return {"cases": cases, "config": config, "errors": sweep.errors}
+
+
+def _fmt_delay(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value * 1e3:.0f} ms"
+
+
+def render(result: dict) -> str:
+    lines = [
+        "Fabric closed loop — gray failure -> FANcY flag -> selective reroute",
+        "",
+        f"{'case':<10} {'sessions':>8} {'detect':>8} {'reroute':>8} "
+        f"{'recovered':>10}  failed link",
+    ]
+    for case, data in result["cases"].items():
+        frac = data["recovery_fraction"]
+        lines.append(
+            f"{case:<10} {data['n_sessions']:>8} "
+            f"{_fmt_delay(data['detection_delay']):>8} "
+            f"{_fmt_delay(data['reroute_delay']):>8} "
+            f"{'n/a' if frac is None else f'{frac * 100:.0f} %':>10}  "
+            f"{data['failed_link']}"
+            f"{'' if data['attribution_correct'] else '  [MISATTRIBUTED]'}"
+        )
+    lines.append("")
+    lines.append("(recovered = victim goodput after reroute / before failure; "
+                 "paper Fig. 10: sub-second recovery)")
+    return "\n".join(lines)
+
+
+def main(quick: bool = True, runtime: Optional[RuntimeContext] = None) -> str:
+    runtime = resolve(runtime)
+    config = FabricExpConfig()
+    if runtime.seed:
+        config = replace(config, seed=runtime.seed)
+    text = render(run(config=config, quick=quick, runtime=runtime))
+    print(text)
+    return text

@@ -14,7 +14,7 @@ The reproduction's correctness rests on two *runtime*-checked contracts:
 ``fancylint`` turns those contracts into *compile-time* checks, the same
 way the P4 compiler statically rejects programs that exceed Tofino's
 stage/SRAM budget.  It is a small AST rule engine with six repo-specific
-rules (FCY001–FCY006, see :mod:`repro.lint.rules`), ruff-style
+rules (FCY001–FCY008, see :mod:`repro.lint.rules`), ruff-style
 ``file:line:col: CODE message`` diagnostics with fix hints, per-line
 ``# fancylint: disable=FCYnnn`` suppressions, and a checked-in baseline
 file for grandfathered findings.

@@ -1,4 +1,4 @@
-"""The fancylint rule catalog (FCY001–FCY007).
+"""The fancylint rule catalog (FCY001–FCY008).
 
 Every rule guards one of the reproduction's determinism / simulator
 invariants (see the package docstring and ``docs/STATIC_ANALYSIS.md``):
@@ -28,6 +28,11 @@ FCY007    chaos/fault code with an *unseeded* ``random.Random()`` or a
           never perturbs the survivors' random streams.  (Global-module
           draws in chaos code are FCY001's job: its scope covers
           ``chaos/``.)
+FCY008    graph adjacency / neighbor state held in an unordered set —
+          fabric port numbering, ECMP next-hop order, and flowlet paths
+          all follow neighbor iteration order, so topology state must be
+          insertion-ordered (list, or dict-as-ordered-set), never a
+          ``set``.
 ========  ==============================================================
 
 Rules are small :class:`ast.NodeVisitor` passes over a shared
@@ -141,7 +146,8 @@ class Rule:
         raise NotImplementedError
 
 
-_SIM_SCOPE = ("core/", "simulator/", "experiments/", "traffic/", "chaos/")
+_SIM_SCOPE = ("core/", "simulator/", "experiments/", "traffic/", "chaos/",
+              "fabric/")
 
 
 def _call_name(node: ast.Call, ctx: FileContext) -> str | None:
@@ -617,6 +623,86 @@ class ChaosRngRule(Rule):
         return found
 
 
+# --------------------------------------------------------------------------
+# FCY008 — adjacency / neighbor state held in an unordered set
+# --------------------------------------------------------------------------
+
+#: substrings marking a binding as graph-topology state.
+_TOPOLOGY_NAME_MARKERS = ("adj", "neighbor", "neighbour", "peer", "next_hop")
+
+
+def _binding_label(target: ast.expr) -> str | None:
+    """The human name a value is being bound to, through one subscript.
+
+    ``adjacency = ...`` → ``adjacency``; ``self._adj[node] = ...`` →
+    ``_adj``; ``graph.neighbors = ...`` → ``neighbors``.
+    """
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _is_topology_name(label: str | None) -> bool:
+    if label is None:
+        return False
+    lowered = label.lower()
+    return any(marker in lowered for marker in _TOPOLOGY_NAME_MARKERS)
+
+
+class UnorderedAdjacencyRule(Rule):
+    code = "FCY008"
+    name = "unordered-adjacency"
+    summary = (
+        "graph adjacency/neighbor state stored as an unordered set; fabric "
+        "port numbering, ECMP next-hop order, and flowlet paths all follow "
+        "neighbor iteration order, which a set ties to PYTHONHASHSEED"
+    )
+    scope = _SIM_SCOPE
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+
+        def flag(target: ast.expr, value: ast.expr) -> None:
+            label = _binding_label(target)
+            if _is_topology_name(label) and _is_unordered(value, ctx):
+                found.append(ctx.diagnostic(
+                    value, self.code,
+                    f"topology state `{label}` assigned an unordered set",
+                    hint="keep adjacency insertion-ordered: use a list or a "
+                         "dict-of-dicts ordered set (dict[str, None])",
+                ))
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    flag(target, node.value)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if getattr(node, "value", None) is not None:
+                    flag(node.target, node.value)  # type: ignore[arg-type]
+            elif isinstance(node, ast.Call):
+                # `adj.setdefault(key, set())` seeds the same unordered state.
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setdefault"
+                    and len(node.args) == 2
+                    and _is_topology_name(_binding_label(func.value))
+                    and _is_unordered(node.args[1], ctx)
+                ):
+                    found.append(ctx.diagnostic(
+                        node.args[1], self.code,
+                        f"topology state `{_binding_label(func.value)}` "
+                        "seeded with an unordered set",
+                        hint="keep adjacency insertion-ordered: use a list or "
+                             "a dict-of-dicts ordered set (dict[str, None])",
+                    ))
+        return found
+
+
 #: Registry, in rule-code order.
 ALL_RULES: tuple[Rule, ...] = (
     GlobalRngRule(),
@@ -626,6 +712,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UseAfterReleaseRule(),
     SimTimeEqualityRule(),
     ChaosRngRule(),
+    UnorderedAdjacencyRule(),
 )
 
 

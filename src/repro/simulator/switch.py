@@ -23,7 +23,7 @@ from .engine import Simulator
 from .link import Link
 from .packet import Packet
 
-__all__ = ["Node", "Switch", "SwitchStats"]
+__all__ = ["ForwardingOverride", "Node", "Switch", "SwitchStats"]
 
 #: Ingress hook signature: (packet, in_port) -> bool.  Returning False
 #: consumes the packet (it does not continue to the TM).
@@ -32,6 +32,10 @@ IngressHook = Callable[[Packet, int], bool]
 #: Egress hook signature: (packet, out_port) -> bool.  Returning False
 #: drops the packet instead of transmitting it.
 EgressHook = Callable[[Packet, int], bool]
+
+#: Forwarding-override signature: (packet) -> out_port or None to fall
+#: through to the next override in the chain / the routing table.
+ForwardingOverride = Callable[[Packet], "int | None"]
 
 
 class Node:
@@ -128,9 +132,16 @@ class Switch(Node):
                 start=1.0, base=4.0, n_buckets=8, switch=name)
         self._ingress_hooks: dict[int, list[IngressHook]] = {}
         self._egress_hooks: dict[int, list[EgressHook]] = {}
-        #: Optional forwarding override, e.g. the fast-rerouting app;
-        #: returns an output port or None to fall through to the routes.
-        self.forwarding_override: Callable[[Packet], int | None] | None = None
+        #: Composable forwarding-override chain (fast-rerouting apps, the
+        #: fabric forwarder, ...).  Overrides are consulted in order; the
+        #: first one returning a port wins, None falls through to the
+        #: next override and finally to the routing table.
+        self._override_chain: list[ForwardingOverride] = []
+        #: Hot-path cache: None (no overrides), the single override
+        #: itself, or the bound chain dispatcher.  ``receive`` reads this
+        #: attribute directly so the single-override fast path costs
+        #: exactly what the pre-chain plain attribute did.
+        self._fwd_override: ForwardingOverride | None = None
 
     # -- configuration -----------------------------------------------------
 
@@ -156,6 +167,64 @@ class Switch(Node):
 
     def add_egress_hook(self, out_port: int, hook: EgressHook) -> None:
         self._egress_hooks.setdefault(out_port, []).append(hook)
+
+    # -- forwarding-override chain ------------------------------------------
+
+    @property
+    def forwarding_override(self) -> ForwardingOverride | None:
+        """The effective override: None, the sole override, or the chain
+        dispatcher.  Assignment replaces the whole chain (the historical
+        single-override semantics); use :meth:`add_forwarding_override`
+        to compose."""
+        return self._fwd_override
+
+    @forwarding_override.setter
+    def forwarding_override(self, fn: ForwardingOverride | None) -> None:
+        self._override_chain = [] if fn is None else [fn]
+        self._refresh_override()
+
+    def add_forwarding_override(self, fn: ForwardingOverride,
+                                front: bool = False) -> None:
+        """Append ``fn`` to the override chain (``front`` prepends).
+
+        Earlier overrides win: the first one returning a port decides the
+        packet.  Terminal resolvers (e.g. the fabric forwarder, which
+        always returns a port) must therefore sit last, and reroute apps
+        that shadow them prepend themselves with ``front=True``.
+        """
+        if fn in self._override_chain:
+            raise ValueError(f"{self.name}: override {fn!r} already installed")
+        if front:
+            self._override_chain.insert(0, fn)
+        else:
+            self._override_chain.append(fn)
+        self._refresh_override()
+
+    def remove_forwarding_override(self, fn: ForwardingOverride) -> None:
+        """Remove ``fn`` from the chain; unknown overrides are a no-op."""
+        try:
+            self._override_chain.remove(fn)
+        except ValueError:
+            return
+        self._refresh_override()
+
+    def _refresh_override(self) -> None:
+        chain = self._override_chain
+        if not chain:
+            self._fwd_override = None
+        elif len(chain) == 1:
+            # Identity-preserving: with one override installed the public
+            # attribute *is* that callable, exactly as before the chain.
+            self._fwd_override = chain[0]
+        else:
+            self._fwd_override = self._run_override_chain
+
+    def _run_override_chain(self, packet: Packet) -> int | None:
+        for fn in self._override_chain:
+            port = fn(packet)
+            if port is not None:
+                return port
+        return None
 
     # -- data plane ---------------------------------------------------------
 
@@ -186,8 +255,9 @@ class Switch(Node):
                     return
         # -- TM: route lookup + tail-drop admission (see _traffic_manager).
         out_port: int | None = None
-        if self.forwarding_override is not None:
-            out_port = self.forwarding_override(packet)
+        override = self._fwd_override
+        if override is not None:
+            out_port = override(packet)
         if out_port is None:
             out_port = self.routes.get(packet.entry, self.default_port)
         if out_port is None:
@@ -229,8 +299,8 @@ class Switch(Node):
         keep the two in sync.
         """
         out_port: int | None = None
-        if self.forwarding_override is not None:
-            out_port = self.forwarding_override(packet)
+        if self._fwd_override is not None:
+            out_port = self._fwd_override(packet)
         if out_port is None:
             out_port = self.routes.get(packet.entry, self.default_port)
         if out_port is None:

@@ -114,6 +114,10 @@ class ChainTopology:
     Used for partial-deployment experiments: FANcY instances sit on the
     first and last switch, and a failure anywhere along the chain must be
     detected (though not pinpointed to a hop, per §4.3).
+
+    ``telemetry`` threads a :class:`repro.telemetry.Telemetry` session
+    into every switch and every inter-switch link pair, mirroring
+    :class:`TwoSwitchTopology` (host access links stay uninstrumented).
     """
 
     def __init__(
@@ -125,6 +129,7 @@ class ChainTopology:
         failure_hop: int | None = None,
         loss_model: Callable[[Packet, float], bool] | None = None,
         tm_queue_packets: int | None = 10000,
+        telemetry: Any | None = None,
     ) -> None:
         if n_switches < 2:
             raise ValueError("chain needs at least two switches")
@@ -133,7 +138,8 @@ class ChainTopology:
         self.sim = sim
         self.source = Host(sim, "src-host")
         self.sink = Host(sim, "dst-host", auto_sink=True)
-        self.switches = [Switch(sim, f"S{i}", tm_queue_packets=tm_queue_packets)
+        self.switches = [Switch(sim, f"S{i}", tm_queue_packets=tm_queue_packets,
+                                telemetry=telemetry)
                          for i in range(n_switches)]
         self.links: list[Link] = []
 
@@ -144,7 +150,7 @@ class ChainTopology:
             fwd, _rev = connect_duplex(
                 sim, self.switches[i], PORT_TO_PEER, self.switches[i + 1], 2,
                 bandwidth_bps=link_bandwidth_bps, delay_s=link_delay_s,
-                loss_model_ab=loss,
+                loss_model_ab=loss, telemetry=telemetry,
             )
             self.links.append(fwd)
         connect_duplex(sim, self.switches[-1], PORT_TO_HOST, self.sink, 0,
@@ -190,6 +196,9 @@ class StarTopology:
     Traffic for peer ``i``'s entries enters at the source host, crosses
     the hub, and exits on port ``i + 1``; each hub→peer link can carry its
     own gray failure.  Port 0 faces the source host.
+
+    ``telemetry`` threads a :class:`repro.telemetry.Telemetry` session
+    into the hub, every peer switch, and every hub↔peer link pair.
     """
 
     def __init__(
@@ -200,13 +209,15 @@ class StarTopology:
         link_bandwidth_bps: float | None = 100e9,
         loss_models: dict[int, Callable[[Packet, float], bool]] | None = None,
         tm_queue_packets: int | None = 10000,
+        telemetry: Any | None = None,
     ) -> None:
         if n_peers < 1:
             raise ValueError("star needs at least one peer")
         self.sim = sim
         self.n_peers = n_peers
         self.source = Host(sim, "src-host")
-        self.hub = Switch(sim, "hub", tm_queue_packets=tm_queue_packets)
+        self.hub = Switch(sim, "hub", tm_queue_packets=tm_queue_packets,
+                          telemetry=telemetry)
         self.peers: list[Switch] = []
         self.sinks: list[Host] = []
         self.links: list[Link] = []
@@ -215,12 +226,13 @@ class StarTopology:
         connect_duplex(sim, self.source, 0, self.hub, 0,
                        bandwidth_bps=None, delay_s=0.0001)
         for i in range(n_peers):
-            peer = Switch(sim, f"peer{i}", tm_queue_packets=tm_queue_packets)
+            peer = Switch(sim, f"peer{i}", tm_queue_packets=tm_queue_packets,
+                          telemetry=telemetry)
             sink = Host(sim, f"sink{i}", auto_sink=True)
             fwd, _rev = connect_duplex(
                 sim, self.hub, i + 1, peer, 1,
                 bandwidth_bps=link_bandwidth_bps, delay_s=link_delay_s,
-                loss_model_ab=loss_models.get(i),
+                loss_model_ab=loss_models.get(i), telemetry=telemetry,
             )
             connect_duplex(sim, peer, 0, sink, 0,
                            bandwidth_bps=None, delay_s=0.0001)

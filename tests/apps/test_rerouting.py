@@ -103,14 +103,21 @@ class TestFastRerouteApp:
         # rerouted counter only ever sees forward DATA.
         assert app.rerouted_packets <= a.stats.received
 
-    def test_double_install_rejected(self, sim):
+    def test_second_app_composes_on_the_chain(self, sim):
+        """Multi-link protection: a second app on the same switch joins
+        the override chain instead of raising (first installed wins)."""
         topo = TwoSwitchTopology(sim)
         monitor = FancyLinkMonitor(sim, topo.upstream, 1, topo.downstream, 1,
                                    FancyConfig(high_priority=["e"],
                                                tree_params=None))
-        FastRerouteApp(monitor, backup_port=2)
-        with pytest.raises(RuntimeError):
-            FastRerouteApp(monitor, backup_port=3)
+        first = FastRerouteApp(monitor, backup_port=2)
+        second = FastRerouteApp(monitor, backup_port=3)
+        sw = topo.upstream
+        assert sw.forwarding_override == sw._run_override_chain
+        assert sw._override_chain == [first._installed, second._installed]
+        second.uninstall()
+        # Back to the identity-preserving single-override representation.
+        assert sw.forwarding_override is first._installed
 
     def test_uninstall_restores_switch(self, sim):
         topo = TwoSwitchTopology(sim)

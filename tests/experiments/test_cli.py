@@ -15,7 +15,7 @@ class TestCli:
         expected = {
             "table1", "table2", "fig2", "fig7", "fig8", "fig9a", "fig9b",
             "uniform", "table3", "baselines", "overhead", "table4", "fig10",
-            "fig11", "table5", "telemetry",
+            "fig11", "table5", "telemetry", "fabric",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,1 @@
+"""Tests for the network-wide fabric subsystem."""

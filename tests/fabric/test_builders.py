@@ -1,0 +1,83 @@
+"""Tests for the canned topology builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.builders import abilene, clos, fat_tree, random_isp, ring
+
+
+def is_connected(g) -> bool:
+    return len(g.distances(g.nodes[0])) == len(g.nodes)
+
+
+class TestRing:
+    def test_shape(self):
+        g = ring(6)
+        assert g.nodes == [f"s{i}" for i in range(6)]
+        assert all(g.degree(n) == 2 for n in g.nodes)
+        assert len(g.edges()) == 6
+        assert g.has_edge("s5", "s0")
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+
+class TestClos:
+    def test_full_bipartite(self):
+        g = clos(4, 2)
+        assert len(g.nodes) == 6
+        assert len(g.edges()) == 8
+        for i in range(4):
+            for j in range(2):
+                assert g.has_edge(f"leaf{i}", f"spine{j}")
+        # No leaf-leaf or spine-spine edges.
+        assert not g.has_edge("leaf0", "leaf1")
+        assert not g.has_edge("spine0", "spine1")
+
+
+class TestFatTree:
+    def test_k4_shape(self):
+        g = fat_tree(4)
+        assert len(g.nodes) == 20          # 4 cores + 4*(2 agg + 2 edge)
+        assert len(g.edges()) == 32
+        assert len(g.directed_links()) == 64
+        assert is_connected(g)
+
+    def test_edge_to_edge_ecmp_width(self):
+        g = fat_tree(4)
+        # Inter-pod traffic from an edge switch fans out over both
+        # in-pod aggregation switches.
+        assert g.ecmp_next_hops("edge0-0", "edge1-1") == ["agg0-0", "agg0-1"]
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+
+class TestAbilene:
+    def test_shape(self):
+        g = abilene()
+        assert len(g.nodes) == 11
+        assert len(g.edges()) == 14
+        assert is_connected(g)
+
+
+class TestRandomIsp:
+    def test_deterministic_for_seed(self):
+        a = random_isp(12, extra_edges=4, seed=7)
+        b = random_isp(12, extra_edges=4, seed=7)
+        assert a.nodes == b.nodes
+        assert a.edges() == b.edges()
+
+    def test_seed_changes_wiring(self):
+        a = random_isp(12, extra_edges=4, seed=7)
+        b = random_isp(12, extra_edges=4, seed=8)
+        assert a.edges() != b.edges()
+
+    def test_always_connected(self):
+        for seed in range(5):
+            g = random_isp(10, extra_edges=3, seed=seed)
+            assert is_connected(g)
+            assert len(g.edges()) == 9 + 3

@@ -1,0 +1,92 @@
+"""Tests for FabricDeployment: per-link monitors off one registry."""
+
+from __future__ import annotations
+
+from repro.core.detector import FancyConfig
+from repro.fabric.builders import ring
+from repro.fabric.deployment import FabricDeployment
+from repro.fabric.graph import FabricNetwork
+from repro.simulator.failures import EntryLossFailure
+from repro.simulator.udp import UdpSource
+from repro.telemetry import Telemetry
+
+
+def monitored_ring(sim, links=None, telemetry=None):
+    net = FabricNetwork(sim, ring(4), telemetry=telemetry)
+    config = FancyConfig(high_priority=["e"], tree_params=None,
+                         dedicated_session_s=0.05, seed=9)
+    return net, FabricDeployment(net, config=config, links=links,
+                                 telemetry=telemetry)
+
+
+class TestConstruction:
+    def test_defaults_to_every_directed_link(self, sim):
+        net, dep = monitored_ring(sim)
+        assert dep.n_sessions == 8  # 4 undirected ring edges, both ways
+        assert sorted(dep.monitors) == sorted(net.directed_link_ids())
+
+    def test_link_selection_accepts_ids_and_pairs(self, sim):
+        _net, dep = monitored_ring(sim, links=["s0->s1", ("s1", "s2")])
+        assert list(dep.monitors) == ["s0->s1", "s1->s2"]
+        assert dep.monitor("s0", "s1") is dep.monitors["s0->s1"]
+
+    def test_per_link_seeds_differ(self, sim):
+        _net, dep = monitored_ring(sim)
+        seeds = {m.config.seed for m in dep.monitors.values()}
+        assert len(seeds) == dep.n_sessions
+
+    def test_telemetry_forks_share_registry(self, sim):
+        telemetry = Telemetry()
+        net, dep = monitored_ring(sim, links=["s0->s1", "s1->s2"],
+                                  telemetry=telemetry)
+        forks = [m.telemetry for m in dep.monitors.values()]
+        assert all(f is not None for f in forks)
+        assert all(f.metrics is telemetry.metrics for f in forks)
+        # Private timelines: one monitor's state events don't pollute
+        # another's detection records.
+        assert forks[0].timeline is not forks[1].timeline
+
+
+class TestDetection:
+    def run_faulty_ring(self, sim, seed=9):
+        net, dep = monitored_ring(sim)
+        net.add_entry("e", "s0", "s2")
+        net.link("s1", "s2").loss_model = EntryLossFailure(
+            {"e"}, 1.0, start_time=0.4, seed=5)
+        UdpSource(sim, net.host("s0").send, "e", flow_id=1,
+                  rate_bps=640_000, packet_size=400, seed=seed).start()
+        dep.start(stagger_s=0.002)
+        sim.run(until=1.5)
+        return net, dep
+
+    def test_flag_attributed_to_failed_link_only(self, sim):
+        _net, dep = self.run_faulty_ring(sim)
+        assert dep.flagged() == {"s1->s2": ["e"]}
+        assert dep.monitor("s1", "s2").entry_is_flagged("e")
+        assert not dep.monitor("s0", "s1").entry_is_flagged("e")
+
+    def test_sessions_complete_on_every_link(self, sim):
+        _net, dep = self.run_faulty_ring(sim)
+        completed = dep.sessions_completed()
+        assert set(completed) == set(dep.monitors)
+        assert all(n > 0 for n in completed.values())
+
+    def test_detection_records_deterministic(self):
+        from repro.simulator.engine import Simulator
+
+        runs = []
+        for _ in range(2):
+            sim = Simulator()
+            _net, dep = self.run_faulty_ring(sim)
+            runs.append(dep.detection_records())
+        assert runs[0] == runs[1]
+        assert runs[0], "expected at least one detection record"
+        assert all(rec[0] == "s1->s2" for rec in runs[0])
+
+    def test_stop_halts_new_sessions(self, sim):
+        net, dep = monitored_ring(sim, links=["s0->s1"])
+        dep.start()
+        sim.run(until=0.3)
+        dep.stop()
+        sim.run()  # drain: must terminate without monitors rescheduling
+        assert sim.now < 10.0

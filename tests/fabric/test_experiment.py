@@ -1,0 +1,83 @@
+"""Tests for the fabric experiment: Figure-10-style closed-loop recovery."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import fabric
+from repro.runtime import RuntimeContext
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return replace(fabric.FabricExpConfig(), duration_s=3.0,
+                   fat_tree_duration_s=2.0)
+
+
+@pytest.fixture(scope="module")
+def ring_result(quick_config):
+    return fabric.run_ring_case(quick_config)
+
+
+@pytest.fixture(scope="module")
+def fat_tree_result(quick_config):
+    return fabric.run_fat_tree_case(quick_config)
+
+
+class TestRingCase:
+    def test_closed_loop_recovers_traffic(self, ring_result):
+        # The Figure 10 contract: flag -> reroute -> goodput returns.
+        assert ring_result["recovery_fraction"] is not None
+        assert ring_result["recovery_fraction"] > 0.8
+        assert ring_result["rerouted_packets"] > 0
+
+    def test_detection_and_reroute_subsecond(self, ring_result):
+        assert 0.0 < ring_result["detection_delay"] < 1.0
+        assert (ring_result["detection_delay"]
+                <= ring_result["reroute_delay"] < 1.0)
+
+    def test_attribution(self, ring_result):
+        assert ring_result["attribution_correct"]
+        assert list(ring_result["flagged_links"]) == ["s1->s2"]
+
+    def test_all_links_monitored(self, ring_result):
+        # 6-node ring: 12 directed links, one FANcY session each.
+        assert ring_result["n_sessions"] == 12
+        assert ring_result["sessions_completed_min"] > 0
+
+
+class TestFatTreeCase:
+    def test_concurrent_session_floor(self, fat_tree_result):
+        # Acceptance: the k=4 fat tree sustains >= 32 concurrent sessions.
+        assert fat_tree_result["n_sessions"] >= 32
+        assert fat_tree_result["sessions_completed_min"] > 0
+
+    def test_per_link_attribution(self, fat_tree_result):
+        assert fat_tree_result["attribution_correct"]
+        assert list(fat_tree_result["flagged_links"]) == [
+            fat_tree_result["failed_link"]]
+
+    def test_recovers_traffic(self, fat_tree_result):
+        assert fat_tree_result["recovery_fraction"] is not None
+        assert fat_tree_result["recovery_fraction"] > 0.8
+
+    def test_same_seed_same_detection_records(self, quick_config,
+                                              fat_tree_result):
+        again = fabric.run_fat_tree_case(quick_config)
+        assert again["detections"] == fat_tree_result["detections"]
+        assert again["detections"], "expected detection records"
+
+
+class TestHarness:
+    def test_run_and_render(self, quick_config):
+        runtime = RuntimeContext(cache_dir=None, progress=False)
+        result = fabric.run(config=replace(quick_config, duration_s=2.0,
+                                           fat_tree_duration_s=1.5),
+                            quick=False, runtime=runtime)
+        assert result["errors"] == {}
+        assert set(result["cases"]) == {"ring", "fat_tree"}
+        text = fabric.render(result)
+        assert "ring" in text and "fat_tree" in text
+        assert "MISATTRIBUTED" not in text

@@ -1,0 +1,17 @@
+"""FCY008 fixture: adjacency/neighbor state stored as unordered sets."""
+
+
+class Graph:
+    def __init__(self):
+        self.adjacency = {}
+
+    def add_edge(self, a, b):
+        self.adjacency.setdefault(a, set()).add(b)  # FCY008
+
+    def merge(self, other):
+        self.adjacency[0] = set(other)  # FCY008
+
+
+def build(pairs):
+    neighbors = {x for x, _ in pairs}  # FCY008
+    return neighbors

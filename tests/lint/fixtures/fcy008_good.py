@@ -1,0 +1,21 @@
+"""FCY008 clean fixture: insertion-ordered adjacency state."""
+
+
+class Graph:
+    def __init__(self):
+        # dict-of-dicts ordered set: deterministic neighbor iteration.
+        self.adjacency = {}
+
+    def add_edge(self, a, b):
+        self.adjacency.setdefault(a, {})[b] = None
+
+    def neighbors(self, node):
+        return list(self.adjacency[node])
+
+
+def build(pairs):
+    # sorted() launders set order before it becomes topology state.
+    neighbors = sorted({x for x, _ in pairs})
+    # plain value sets are fine — only topology-named bindings count.
+    seen = {x for x, _ in pairs}
+    return neighbors, seen

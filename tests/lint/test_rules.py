@@ -20,6 +20,7 @@ EXPECTED_BAD = {
     "FCY005": 1,
     "FCY006": 2,
     "FCY007": 3,
+    "FCY008": 3,
 }
 
 
@@ -98,6 +99,53 @@ class TestScoping:
         source = "import random\nx = random.random()\n"
         codes = [d.code for d in lint_source(source, rel_path="chaos/harness.py")]
         assert codes == ["FCY001"]
+
+    def test_sim_rules_cover_fabric_scope(self):
+        rng = "import random\nx = random.random()\n"
+        assert [d.code for d in lint_source(rng, rel_path="fabric/graph.py")] == ["FCY001"]
+        escape = "def f(s):\n    return list({x for x in s})\n"
+        assert [d.code for d in lint_source(escape, rel_path="fabric/graph.py")] == ["FCY003"]
+
+    def test_adjacency_rule_scoped_out_of_runtime(self):
+        source = "adjacency = set()\n"
+        assert [d.code for d in lint_source(source, rel_path="fabric/graph.py")] == ["FCY008"]
+        assert lint_source(source, rel_path="runtime/jobs.py") == []
+
+
+class TestUnorderedAdjacency:
+    """FCY008: topology state must iterate in insertion order."""
+
+    def test_attribute_and_subscript_targets_flagged(self):
+        source = (
+            "class G:\n"
+            "    def __init__(self, peers):\n"
+            "        self._adj = {}\n"
+            "        self._adj['a'] = set(peers)\n"
+        )
+        assert [d.code for d in lint_source(source, rel_path="fabric/g.py")] == ["FCY008"]
+
+    def test_setdefault_seeding_flagged(self):
+        source = "def add(adj, a, b):\n    adj.setdefault(a, set()).add(b)\n"
+        assert [d.code for d in lint_source(source, rel_path="fabric/g.py")] == ["FCY008"]
+
+    def test_annotated_assignment_flagged(self):
+        source = "next_hops: set = {1, 2}\n"
+        assert [d.code for d in lint_source(source, rel_path="fabric/g.py")] == ["FCY008"]
+
+    def test_ordered_set_idiom_allowed(self):
+        source = (
+            "def add(adj, a, b):\n"
+            "    adj.setdefault(a, {})[b] = None\n"
+        )
+        assert lint_source(source, rel_path="fabric/g.py") == []
+
+    def test_sorted_neighbors_allowed(self):
+        source = "def f(raw):\n    neighbors = sorted(set(raw))\n    return neighbors\n"
+        assert lint_source(source, rel_path="fabric/g.py") == []
+
+    def test_non_topology_names_ignored(self):
+        source = "def f(raw):\n    pending = set(raw)\n    return len(pending)\n"
+        assert lint_source(source, rel_path="fabric/g.py") == []
 
 
 class TestChaosRngStreams:

@@ -83,6 +83,64 @@ class TestRouting:
         assert len(out1.received) == 1
 
 
+class TestOverrideChain:
+    def test_single_override_is_identity_preserving(self, sim, wired):
+        sw, _, _ = wired
+        fn = lambda p: 1  # noqa: E731
+        sw.add_forwarding_override(fn)
+        assert sw.forwarding_override is fn
+
+    def test_chain_first_non_none_wins(self, sim, wired):
+        sw, out1, out2 = wired
+        sw.add_route("a", 1)
+        sw.add_forwarding_override(lambda p: None)
+        sw.add_forwarding_override(lambda p: 2)
+        sw.receive(data("a"), 0)
+        sim.run()
+        assert out1.received == []
+        assert len(out2.received) == 1
+
+    def test_front_install_takes_precedence(self, sim, wired):
+        sw, out1, out2 = wired
+        sw.add_forwarding_override(lambda p: 1)
+        sw.add_forwarding_override(lambda p: 2, front=True)
+        sw.receive(data("a"), 0)
+        sim.run()
+        assert out1.received == []
+        assert len(out2.received) == 1
+
+    def test_duplicate_install_rejected(self, sim, wired):
+        sw, _, _ = wired
+        fn = lambda p: 1  # noqa: E731
+        sw.add_forwarding_override(fn)
+        with pytest.raises(ValueError):
+            sw.add_forwarding_override(fn)
+
+    def test_remove_missing_is_noop(self, sim, wired):
+        sw, _, _ = wired
+        sw.remove_forwarding_override(lambda p: 1)
+        assert sw.forwarding_override is None
+
+    def test_assignment_resets_chain(self, sim, wired):
+        sw, _, _ = wired
+        sw.add_forwarding_override(lambda p: 1)
+        sw.add_forwarding_override(lambda p: 2)
+        fn = lambda p: 1  # noqa: E731
+        sw.forwarding_override = fn
+        assert sw.forwarding_override is fn
+        sw.forwarding_override = None
+        assert sw.forwarding_override is None
+
+    def test_whole_chain_none_falls_through_to_routes(self, sim, wired):
+        sw, out1, _ = wired
+        sw.add_route("a", 1)
+        sw.add_forwarding_override(lambda p: None)
+        sw.add_forwarding_override(lambda p: None)
+        sw.receive(data("a"), 0)
+        sim.run()
+        assert len(out1.received) == 1
+
+
 class TestHooks:
     def test_ingress_hook_sees_packet(self, sim, wired):
         sw, out1, _ = wired
