@@ -110,12 +110,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .chaos.cli import main as chaos_main
 
         return chaos_main(args_list[1:])
+    if args_list and args_list[0] == "report":
+        # `fancy-repro report [...]` delegates to the observability CLI:
+        # the fabric health dashboard and trace-schema validation
+        # (see docs/TELEMETRY.md).
+        from .obs.cli import main as report_main
+
+        return report_main(args_list[1:])
 
     parser = argparse.ArgumentParser(
         prog="fancy-repro",
         description="Regenerate the FANcY paper's tables and figures "
                     "(run `fancy-repro lint` for the static-analysis gate, "
-                    "`fancy-repro chaos` for the fault-injection soak).",
+                    "`fancy-repro chaos` for the fault-injection soak, "
+                    "`fancy-repro report` for the fabric health dashboard).",
     )
     parser.add_argument(
         "experiment",
@@ -186,6 +194,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "engine (implies --telemetry)",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record causal detection traces (fabric experiment only); "
+             "with --out also writes trace JSONL, Chrome-trace JSON and "
+             "the HTML health report",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the live stderr progress line",
@@ -217,6 +232,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # artifacts (timeline JSONL, Prometheus text) under --out.
             text = telemetry_report.main(quick=not args.full, runtime=runtime,
                                          out_dir=out_dir)
+        elif name == "fabric":
+            # The fabric experiment owns the --trace flag: detection
+            # traces, Chrome-trace exports and the HTML health report.
+            text = fabric.main(quick=not args.full, runtime=runtime,
+                               trace=args.trace, out_dir=out_dir)
         else:
             text = EXPERIMENTS[name](not args.full, runtime)
         if out_dir is not None and text:

@@ -149,6 +149,7 @@ class FancyLinkMonitor:
         self.log = log if log is not None else FailureLog()
         self.telemetry = telemetry
         self._timeline: Any = telemetry.timeline if telemetry is not None else None
+        self._traces: Any = getattr(telemetry, "traces", None)
         self._id = f"{upstream.name}->{downstream.name}"
         self._entry_of = self.config.classifier or by_prefix
 
@@ -340,6 +341,21 @@ class FancyLinkMonitor:
             lost=report.lost_packets,
             control_bytes=int(metrics.total("fancy_control_bytes_total")),
         )
+        if self._traces is not None:
+            # Unattributed detections (no fault episode opened by a chaos
+            # or experiment harness) open their own episode here — the
+            # false-positive-sentinel signal the health report surfaces.
+            self._traces.ensure_episode(report.time, cause="detection",
+                                        monitor=self._id)
+            if report.kind is FailureKind.DEDICATED_ENTRY:
+                self._traces.emit("divergence", report.time,
+                                  category="counters", fsm=fsm_id,
+                                  entry=report.entry)
+            self._traces.emit(
+                "flag", report.time, category="detect",
+                kind=report.kind.value, fsm=fsm_id, entry=report.entry,
+                hash_path=report.hash_path, session=report.session_id,
+                lost=report.lost_packets)
 
     def _on_dedicated_detection(self, entry: Any, lost: int, session_id: int) -> None:
         report = FailureReport(
@@ -426,6 +442,9 @@ class FancyLinkMonitor:
                     receiver.restart()
         if self._timeline is not None:
             self._timeline.record(now, self._id, "switch_restart", side=side)
+        if self._traces is not None and self._traces.active:
+            self._traces.emit("switch_restart", now, category="chaos",
+                              monitor=self._id, side=side)
         if self.telemetry is not None:
             self.telemetry.metrics.counter(
                 "chaos_switch_restarts_total",

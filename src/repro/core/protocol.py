@@ -228,6 +228,12 @@ class FancySender:
         #: this in real experiments.
         self.accept_stale_responses = accept_stale_responses
         self._timeline = telemetry.timeline if telemetry is not None else None
+        #: Trace collector of the telemetry fork; spans are only recorded
+        #: while a detection episode is open (TraceCollector.active), so
+        #: healthy steady state pays one attribute check per event.
+        self._traces = (getattr(telemetry, "traces", None)
+                        if telemetry is not None else None)
+        self._session_span: int | None = None
 
         self.state = SenderState.IDLE
         self.session_id = 0
@@ -251,6 +257,11 @@ class FancySender:
                 session=self.session_id,
                 **{"from": old_state.value, "to": new_state.value},
             )
+            if self._traces is not None and self._traces.active:
+                self._traces.emit(
+                    f"{old_state.value}->{new_state.value}", self.sim.now,
+                    category="fsm", fsm=self.fsm_id, role="sender",
+                    session=self.session_id)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -267,6 +278,11 @@ class FancySender:
         if self._timeline is not None:
             self._timeline.record(self.sim.now, self.fsm_id, "session_open",
                                   fsm=self.fsm_id, session=self.session_id)
+        if self._traces is not None and self._traces.active:
+            self._session_span = self._traces.open_span(
+                f"session {self.session_id}", self.sim.now,
+                category="protocol", fsm=self.fsm_id, role="sender",
+                session=self.session_id)
         self.attempts = 0
         self._send_start()
 
@@ -294,6 +310,12 @@ class FancySender:
         if self.telemetry is not None:
             _count_control(self.telemetry, self.fsm_id, "sender", kind, size,
                            retransmit=self.attempts > 1)
+        if self._traces is not None and self._traces.active:
+            self._traces.emit(
+                kind.value, self.sim.now, category="control",
+                parent=self._session_span, fsm=self.fsm_id, role="sender",
+                session=self.session_id, bytes=size,
+                retransmit=self.attempts > 1)
         self.send_control(kind, payload, size)
 
     def _arm_timer(self, callback: Callable[[], None]) -> None:
@@ -315,8 +337,15 @@ class FancySender:
             self._timer.cancel()
             self._timer = None
 
+    def _trace_close_session(self) -> None:
+        """Close the session's trace span, if one is open."""
+        if self._traces is not None and self._session_span is not None:
+            self._traces.close_span(self._session_span, self.sim.now)
+        self._session_span = None
+
     def _declare_link_failure(self) -> None:
         self._cancel_timer()
+        self._trace_close_session()
         self._set_state(SenderState.FAILED)
         if self.telemetry is not None:
             self.telemetry.metrics.counter(
@@ -329,6 +358,7 @@ class FancySender:
     def stop(self) -> None:
         """Tear the FSM down (experiment teardown)."""
         self._cancel_timer()
+        self._trace_close_session()
         self._set_state(SenderState.IDLE)
 
     def restart(self) -> None:
@@ -342,6 +372,7 @@ class FancySender:
         and the session-monotonicity invariant checkable.
         """
         self._cancel_timer()
+        self._trace_close_session()
         self.restarts += 1
         self.attempts = 0
         self._set_state(SenderState.IDLE)
@@ -393,6 +424,7 @@ class FancySender:
             self._cancel_timer()
             self.strategy.end_session(payload.get("snapshot"), self.session_id)
             self.sessions_completed += 1
+            self._trace_close_session()
             if self._timeline is not None:
                 self._timeline.record(self.sim.now, self.fsm_id, "session_close",
                                       fsm=self.fsm_id, session=self.session_id)
@@ -444,6 +476,8 @@ class FancyReceiver:
         self.report_size_bytes = report_size_bytes
         self.telemetry = telemetry
         self._timeline = telemetry.timeline if telemetry is not None else None
+        self._traces = (getattr(telemetry, "traces", None)
+                        if telemetry is not None else None)
 
         self.state = ReceiverState.IDLE
         self.session_id = 0
@@ -463,6 +497,11 @@ class FancyReceiver:
                 session=self.session_id,
                 **{"from": old_state.value, "to": new_state.value},
             )
+            if self._traces is not None and self._traces.active:
+                self._traces.emit(
+                    f"{old_state.value}->{new_state.value}", self.sim.now,
+                    category="fsm", fsm=self.fsm_id, role="receiver",
+                    session=self.session_id)
 
     def _count_rejected(self, reason: str) -> None:
         if self.telemetry is not None:
@@ -533,6 +572,11 @@ class FancyReceiver:
         payload["csum"] = payload_checksum(payload)
         if self.telemetry is not None:
             _count_control(self.telemetry, self.fsm_id, "receiver", kind, size)
+        if self._traces is not None and self._traces.active:
+            self._traces.emit(
+                kind.value, self.sim.now, category="control",
+                fsm=self.fsm_id, role="receiver", session=self.session_id,
+                bytes=size)
         self.send_control(kind, payload, size)
 
     def process_packet(self, packet: Packet) -> bool:

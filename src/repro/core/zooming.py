@@ -86,6 +86,9 @@ class TreeSenderStrategy:
         #: guarded by the ``_timeline`` check on the hot paths.
         self.telemetry: Any = telemetry
         self._timeline: Any = telemetry.timeline if telemetry is not None else None
+        self._traces: Any = getattr(telemetry, "traces", None)
+        #: Open zoom-span ids by frontier path (durative: activate→retreat).
+        self._zoom_spans: dict[NodePath, int | None] = {}
         self._m_frontier: Any = (
             telemetry.metrics.gauge(
                 "fancy_zoom_frontier", "Active zooming explorations", fsm=name)
@@ -131,6 +134,10 @@ class TreeSenderStrategy:
                 "fancy_zoom_activations_total",
                 "Zooming-frontier node activations, by tree level",
                 fsm=self.name, level=str(len(path))).inc()
+        if self._traces is not None and self._traces.active:
+            self._zoom_spans[path] = self._traces.open_span(
+                f"zoom L{len(path)} {list(path)}", self.now_fn(),
+                category="zoom", fsm=self.name, path=path, level=len(path))
 
     def _deactivate(self, path: NodePath) -> None:
         self.frontier.discard(path)
@@ -139,6 +146,9 @@ class TreeSenderStrategy:
             self._timeline.record(self.now_fn(), self.name, "zoom_retreat",
                                   fsm=self.name, path=path, level=len(path))
             self._m_frontier.set(len(self.frontier))
+        if self._traces is not None:
+            self._traces.close_span(self._zoom_spans.pop(path, None),
+                                    self.now_fn())
 
     # -- SenderStrategy interface ----------------------------------------------
 
@@ -265,6 +275,11 @@ class TreeSenderStrategy:
         if root_mism:
             if self.first_zoom_time is None:
                 self.first_zoom_time = now
+            if self._traces is not None:
+                self._traces.ensure_episode(now, cause="divergence",
+                                            fsm=self.name)
+                self._traces.emit("divergence", now, category="counters",
+                                  fsm=self.name, counters=len(root_mism))
             self._spawn_children((), root_mism, 1)
         return reports
 
@@ -312,6 +327,11 @@ class TreeSenderStrategy:
             if root_mism:
                 if self.first_zoom_time is None:
                     self.first_zoom_time = now
+                if self._traces is not None:
+                    self._traces.ensure_episode(now, cause="divergence",
+                                                fsm=self.name)
+                    self._traces.emit("divergence", now, category="counters",
+                                      fsm=self.name, counters=len(root_mism))
                 self._reset_wave()
                 self._spawn_wave((), root_mism)
                 if self.frontier:

@@ -58,6 +58,10 @@ class FabricExpConfig:
     link_delay_s: float = 0.010
     bin_s: float = 0.1
     seed: int = 0
+    #: Record causal detection traces (repro.obs).  Part of the frozen
+    #: config on purpose: it changes the result payload, so it must
+    #: change the content-addressed cache fingerprint too.
+    trace: bool = False
 
 
 def _mean_bps(series: list[tuple[float, float]], lo: float, hi: float) -> float:
@@ -79,6 +83,7 @@ def _close_the_loop(
     victim: Any,
     failed_link: str,
     duration_s: float,
+    telemetry: Any = None,
 ) -> dict[str, Any]:
     """Shared closed-loop body: monitors everywhere, one failure, reroute."""
     sim = net.sim
@@ -91,7 +96,7 @@ def _close_the_loop(
         dedicated_session_s=config.dedicated_session_s,
         seed=stable_seed(config.seed, "fabric-exp", bits=31),
     )
-    deployment = FabricDeployment(net, config=fancy)
+    deployment = FabricDeployment(net, config=fancy, telemetry=telemetry)
     controller = FabricRerouteController(
         net, deployment, poll_interval_s=config.poll_interval_s)
 
@@ -100,6 +105,20 @@ def _close_the_loop(
         {victim}, config.loss_rate, start_time=config.failure_time_s,
         seed=stable_seed(config.seed, "failure", failed_link, bits=31),
     )
+    if telemetry is not None:
+        # The experiment harness is the root cause here: open the failed
+        # link's detection episode exactly when the loss model activates,
+        # and log the injection on that fork's timeline.
+        fork = deployment.monitors[failed_link].telemetry
+
+        def _mark_failure() -> None:
+            fork.timeline.record(sim.now, failed_link, "failure_injected",
+                                 entry=victim)
+            fork.traces.begin_episode(
+                sim.now, cause="fault", name="entry_loss", link=failed_link,
+                entry=victim, rate=config.loss_rate)
+
+        sim.schedule_at(config.failure_time_s, _mark_failure)
 
     meters: dict[str, ThroughputMeter] = {}
     for entry, (src, dst) in entries.items():
@@ -127,6 +146,18 @@ def _close_the_loop(
     post = (0.0 if reroute_at is None else
             _mean_bps(series, reroute_at + 0.3, duration_s))
     flagged = deployment.flagged()
+    obs: dict[str, Any] | None = None
+    if telemetry is not None:
+        from ..obs.health import FabricHealthReport
+
+        spans: list[dict[str, Any]] = []
+        for monitor in deployment.monitors.values():
+            traces = monitor.telemetry.traces
+            traces.finalize(sim.now)
+            spans.extend(traces.span_dicts())
+        health = FabricHealthReport.from_deployment(
+            deployment, controller=controller, sim_time=sim.now)
+        obs = {"health": health.to_dict(), "spans": spans}
     return {
         "n_sessions": deployment.n_sessions,
         "failed_link": failed_link,
@@ -144,10 +175,12 @@ def _close_the_loop(
         "sessions_completed_min": min(
             deployment.sessions_completed().values()),
         "detections": deployment.detection_records(),
+        "obs": obs,
     }
 
 
-def run_ring_case(config: Optional[FabricExpConfig] = None) -> dict[str, Any]:
+def run_ring_case(config: Optional[FabricExpConfig] = None,
+                  telemetry: Any = None) -> dict[str, Any]:
     """Ring closed loop: failure on the victim path, Figure 10 contract."""
     config = config or FabricExpConfig()
     sim = Simulator()
@@ -157,10 +190,11 @@ def run_ring_case(config: Optional[FabricExpConfig] = None) -> dict[str, Any]:
     # s1->s2 is guaranteed on it; the innocent entry shares the path.
     entries = {"victim": ("s0", "s2"), "innocent": ("s0", "s2")}
     return _close_the_loop(config, net, entries, "victim", "s1->s2",
-                           config.duration_s)
+                           config.duration_s, telemetry=telemetry)
 
 
-def run_fat_tree_case(config: Optional[FabricExpConfig] = None) -> dict[str, Any]:
+def run_fat_tree_case(config: Optional[FabricExpConfig] = None,
+                      telemetry: Any = None) -> dict[str, Any]:
     """Fat-tree closed loop: ≥32 concurrent sessions, per-link attribution."""
     config = config or FabricExpConfig()
     k = config.fat_tree_k
@@ -182,18 +216,24 @@ def run_fat_tree_case(config: Optional[FabricExpConfig] = None) -> dict[str, Any
     sim = Simulator()
     net = FabricNetwork(sim, fat_tree(k), link_delay_s=config.link_delay_s)
     return _close_the_loop(config, net, entries, victim, failed_link,
-                           config.fat_tree_duration_s)
+                           config.fat_tree_duration_s, telemetry=telemetry)
 
 
 def _case_worker(payload: tuple) -> dict[str, Any]:
     """Top-level (picklable, cache-friendly) case dispatcher."""
     case, config = payload
+    telemetry = None
+    if config.trace:
+        from ..telemetry import Telemetry
+
+        telemetry = Telemetry(scope=case)
     runner = run_ring_case if case == "ring" else run_fat_tree_case
-    return runner(config)
+    return runner(config, telemetry=telemetry)
 
 
 def run(config: Optional[FabricExpConfig] = None, quick: bool = True,
-        runtime: Optional[RuntimeContext] = None) -> dict:
+        runtime: Optional[RuntimeContext] = None,
+        cases: tuple[str, ...] = ("ring", "fat_tree")) -> dict:
     config = config or FabricExpConfig()
     if quick:
         config = replace(config, duration_s=3.0, fat_tree_duration_s=2.0)
@@ -205,7 +245,7 @@ def run(config: Optional[FabricExpConfig] = None, quick: bool = True,
             sim_s=(config.duration_s if case == "ring"
                    else config.fat_tree_duration_s),
         )
-        for case in ("ring", "fat_tree")
+        for case in cases
     ]
     sweep = run_sweep(jobs, _case_worker, runtime=resolve(runtime),
                       label="fabric")
@@ -238,14 +278,52 @@ def render(result: dict) -> str:
     lines.append("")
     lines.append("(recovered = victim goodput after reroute / before failure; "
                  "paper Fig. 10: sub-second recovery)")
+    for case, data in result["cases"].items():
+        obs = data.get("obs")
+        if obs:
+            counts = obs["health"]["summary"]["status"]
+            status = ", ".join(f"{k}={v}" for k, v in sorted(counts.items())
+                               if v)
+            lines.append(f"{case}: {len(obs['spans'])} trace spans; "
+                         f"link health: {status}")
     return "\n".join(lines)
 
 
-def main(quick: bool = True, runtime: Optional[RuntimeContext] = None) -> str:
+def main(quick: bool = True, runtime: Optional[RuntimeContext] = None,
+         trace: bool = False, out_dir: Any = None) -> str:
     runtime = resolve(runtime)
-    config = FabricExpConfig()
+    config = FabricExpConfig(trace=trace)
     if runtime.seed:
         config = replace(config, seed=runtime.seed)
-    text = render(run(config=config, quick=quick, runtime=runtime))
+    result = run(config=config, quick=quick, runtime=runtime)
+    text = render(result)
+    if trace and out_dir is not None:
+        _write_trace_artifacts(result, out_dir)
     print(text)
     return text
+
+
+def _write_trace_artifacts(result: dict, out_dir: Any) -> None:
+    """Write per-case trace JSONL + Chrome trace and the HTML report."""
+    import json
+    from pathlib import Path
+
+    from ..obs.report import render_html
+    from ..obs.trace import chrome_trace_from_dicts, spans_to_jsonl
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    sections = []
+    for case, data in result["cases"].items():
+        obs = data.get("obs")
+        if not obs:
+            continue
+        (out / f"fabric-traces-{case}.jsonl").write_text(
+            spans_to_jsonl(obs["spans"]))
+        (out / f"fabric-chrome-{case}.json").write_text(
+            json.dumps(chrome_trace_from_dicts(obs["spans"]),
+                       sort_keys=True))
+        sections.append({"name": case, "health": obs["health"],
+                         "spans": obs["spans"]})
+    if sections:
+        (out / "fabric-report.html").write_text(render_html(sections))

@@ -122,6 +122,7 @@ def materialize_on_fabric(
                 f"{spec.target!r} (use link_target(a, b))")
         net.endpoints(link_id)  # validate early: unknown links fail loudly
         seed = stable_seed(base_seed, "fault", spec.index)
+        _schedule_fault_episode(net, deployment, link_id, spec)
         if spec.kind in ("entry_loss", "uniform_loss", "control_loss"):
             out.losses.setdefault(link_id, []).append(build_loss(spec, seed))
         elif spec.kind == "switch_restart":
@@ -142,6 +143,41 @@ def materialize_on_fabric(
         out.chaos[link_id] = ChaosModel(
             plist, name=link_id).attach(net.links[link_id])
     return out
+
+
+def _fault_start(spec: FaultSpec) -> float:
+    """Activation time of a fault spec (``start``/``time`` param, else 0)."""
+    for key in ("start", "time"):
+        value = spec.params.get(key)
+        if value is not None:
+            return float(value)
+    return 0.0
+
+
+def _schedule_fault_episode(net: FabricNetwork,
+                            deployment: FabricDeployment | None,
+                            link_id: str, spec: FaultSpec) -> None:
+    """Open a detection-trace episode when the fault activates.
+
+    The chaos harness is the only actor that knows the *root cause*, so
+    it roots each trace: the episode opens at the fault's start time on
+    the faulted link's trace collector, and every span the monitor emits
+    afterwards (divergence → zoom → flag → reroute) hangs under it.
+    No-op when the link is unmonitored or telemetry is off.
+    """
+    if deployment is None:
+        return
+    monitor = deployment.monitors.get(link_id)
+    if monitor is None:
+        return
+    traces = getattr(monitor.telemetry, "traces", None)
+    if traces is None:
+        return
+    net.sim.schedule_at(
+        _fault_start(spec),
+        lambda: traces.begin_episode(
+            net.sim.now, cause="fault", name=spec.kind, link=link_id,
+            target=spec.target, index=spec.index, params=spec.params))
 
 
 # -- the ring soak -------------------------------------------------------------
@@ -217,7 +253,8 @@ def default_fabric_schedule(config: FabricSoakConfig) -> list[FaultSpec]:
 
 
 def fabric_soak(config: FabricSoakConfig,
-                schedule: list[FaultSpec] | None = None) -> FabricSoakResult:
+                schedule: list[FaultSpec] | None = None,
+                telemetry: Any | None = None) -> FabricSoakResult:
     """One invariant-checked soak on the ring fabric.
 
     Entries travel ``s0 → s2`` over the unique two-hop shortest path
@@ -248,7 +285,8 @@ def fabric_soak(config: FabricSoakConfig,
         twait_s=0.015,
         seed=stable_seed(config.seed, "fancy", bits=31),
     )
-    deployment = FabricDeployment(net, config=fancy, links=monitored)
+    deployment = FabricDeployment(net, config=fancy, links=monitored,
+                                  telemetry=telemetry)
 
     sources: list[UdpSource] = []
     for i, entry in enumerate(dedicated + best_effort):
@@ -299,6 +337,12 @@ def fabric_soak(config: FabricSoakConfig,
     violations.extend(check_conservation(
         [net.links[lid] for lid in sorted(net.links)], sim.now))
 
+    if telemetry is not None:
+        for monitor in deployment.monitors.values():
+            traces = getattr(monitor.telemetry, "traces", None)
+            if traces is not None:
+                traces.finalize(sim.now)
+
     stats = {
         "sim_time": sim.now,
         "packets_sent": sum(s.packets_sent for s in sources),
@@ -311,5 +355,10 @@ def fabric_soak(config: FabricSoakConfig,
         },
         "detections": deployment.detection_records(),
     }
+    if telemetry is not None:
+        stats["trace_spans"] = {
+            lid: len(getattr(mon.telemetry, "traces", []) or [])
+            for lid, mon in deployment.monitors.items()
+        }
     return FabricSoakResult(seed=config.seed, violations=violations,
                             schedule=list(schedule), stats=stats)

@@ -14,7 +14,8 @@ Per-link seeds derive from ``stable_seed(config.seed, "fabric",
 link_id)`` — adding or removing a monitored link never reshuffles the
 hash seeds of the others.  When a telemetry session is supplied, each
 monitor gets a :meth:`~repro.telemetry.session.Telemetry.fork`: shared
-metrics registry, private timeline.
+metrics registry, private timeline and trace collector scoped to the
+link id (so minted trace ids read ``"s1->s2#001"``).
 """
 
 from __future__ import annotations
@@ -64,7 +65,7 @@ class FabricDeployment:
             cfg = dataclasses.replace(
                 base, seed=stable_seed(base.seed, "fabric", link_id, bits=31)
             )
-            fork = telemetry.fork() if telemetry is not None else None
+            fork = telemetry.fork(scope=link_id) if telemetry is not None else None
             self.monitors[link_id] = FancyLinkMonitor(
                 net.sim,
                 net.switch(a), net.port_to(a, b),

@@ -1,4 +1,4 @@
-"""The fancylint rule catalog (FCY001–FCY008).
+"""The fancylint rule catalog (FCY001–FCY009).
 
 Every rule guards one of the reproduction's determinism / simulator
 invariants (see the package docstring and ``docs/STATIC_ANALYSIS.md``):
@@ -33,6 +33,11 @@ FCY008    graph adjacency / neighbor state held in an unordered set —
           all follow neighbor iteration order, so topology state must be
           insertion-ordered (list, or dict-as-ordered-set), never a
           ``set``.
+FCY009    telemetry instruments created inside per-packet / per-event
+          hot paths — ``registry.counter()`` et al. hash the label set
+          and hit a dict on every call, so the factory belongs at bind
+          time; only ``.inc()``/``.set()``/``.observe()`` may run per
+          packet.
 ========  ==============================================================
 
 Rules are small :class:`ast.NodeVisitor` passes over a shared
@@ -703,6 +708,78 @@ class UnorderedAdjacencyRule(Rule):
         return found
 
 
+# --------------------------------------------------------------------------
+# FCY009 — telemetry instruments created inside per-packet/per-event paths
+# --------------------------------------------------------------------------
+
+#: function-name substrings marking a per-packet / per-event hot path.
+_HOT_PATH_NAME_MARKERS = (
+    "packet", "egress", "ingress", "forward", "transmit", "hook", "tick",
+    "step", "dispatch", "decide", "steer",
+)
+#: parameter names that mark a function as packet/event-driven.
+_HOT_PATH_PARAM_NAMES = frozenset({"packet", "event"})
+#: registry methods that *create or look up* an instrument (label
+#: hashing + dict lookup per call — cheap once, not per packet).
+_INSTRUMENT_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+#: receiver-name substrings identifying a metrics registry.
+_REGISTRY_NAME_MARKERS = ("metric", "registr")
+
+
+def _is_hot_path_function(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    lowered = node.name.lower()
+    if any(marker in lowered for marker in _HOT_PATH_NAME_MARKERS):
+        return True
+    args = node.args
+    params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return any(p in _HOT_PATH_PARAM_NAMES for p in params)
+
+
+class HotPathInstrumentRule(Rule):
+    code = "FCY009"
+    name = "hot-path-instrument"
+    summary = (
+        "telemetry instrument created inside a per-packet/per-event hot "
+        "path; registry.counter()/gauge()/histogram() hash the label set "
+        "on every call — resolve the instrument once at bind time and "
+        "keep only .inc()/.set()/.observe() on the hot path"
+    )
+    scope = ("obs/", "fabric/", "simulator/")
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for func in ast.walk(tree):
+            if not _is_hot_path_function(func):
+                continue
+            for node in ast.walk(func):  # type: ignore[arg-type]
+                if not isinstance(node, ast.Call):
+                    continue
+                call = node.func
+                if (
+                    not isinstance(call, ast.Attribute)
+                    or call.attr not in _INSTRUMENT_FACTORIES
+                ):
+                    continue
+                receiver = _binding_label(call.value)
+                if receiver is None:
+                    continue
+                lowered = receiver.lower()
+                if not any(m in lowered for m in _REGISTRY_NAME_MARKERS):
+                    continue
+                found.append(ctx.diagnostic(
+                    node, self.code,
+                    f"instrument factory `{receiver}.{call.attr}(...)` "
+                    f"called inside hot-path function "
+                    f"`{func.name}`",  # type: ignore[union-attr]
+                    hint="create the instrument once (at __init__/bind "
+                         "time, or memoized per label) and call "
+                         ".inc()/.set()/.observe() here",
+                ))
+        return found
+
+
 #: Registry, in rule-code order.
 ALL_RULES: tuple[Rule, ...] = (
     GlobalRngRule(),
@@ -713,6 +790,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SimTimeEqualityRule(),
     ChaosRngRule(),
     UnorderedAdjacencyRule(),
+    HotPathInstrumentRule(),
 )
 
 

@@ -1,0 +1,217 @@
+"""Self-contained offline HTML dashboard for fabric health + traces.
+
+:func:`render_html` produces one static page — inline CSS, no scripts,
+no external assets (fonts, CDNs, images), so the artifact CI uploads
+renders identically from a file:// URL on an air-gapped laptop.  Input
+is the serialization-boundary shape the fabric experiments cache:
+``{"name", "health" (FabricHealthReport.to_dict()), "spans" (span
+dicts)}`` per section, so the renderer works equally off a live run or
+a cached/unpickled result.
+
+Layout per section: summary tiles → topology table → per-link health
+table (status colour-coded) → one trace waterfall per detection episode
+(spans as %-positioned bars on the episode's time axis, coloured by
+category).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any
+
+__all__ = ["render_html"]
+
+#: Category → bar colour (matches CATEGORIES in repro.obs.trace).
+_CAT_COLORS = {
+    "cause": "#b5651d",
+    "fsm": "#8fa3bf",
+    "protocol": "#4a6fa5",
+    "control": "#9bc4e2",
+    "counters": "#d9822b",
+    "zoom": "#7b4fa6",
+    "detect": "#c0392b",
+    "reroute": "#27874f",
+    "chaos": "#777777",
+}
+
+_STATUS_COLORS = {
+    "healthy": "#27874f",
+    "degraded": "#d9822b",
+    "flagged": "#c0392b",
+    "rerouted": "#4a6fa5",
+}
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 24px; background: #fafafa; color: #222; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 32px; }
+h3 { font-size: 13px; margin: 18px 0 6px; }
+table { border-collapse: collapse; margin: 8px 0 16px; font-size: 12px; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; text-align: left; }
+th { background: #eee; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 12px 0; }
+.tile { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+        padding: 8px 14px; }
+.tile .v { font-size: 18px; font-weight: bold; }
+.tile .k { font-size: 11px; color: #666; }
+.badge { padding: 1px 7px; border-radius: 9px; color: #fff;
+         font-size: 11px; }
+.wf { position: relative; background: #fff; border: 1px solid #ddd;
+      margin: 4px 0 14px; padding: 2px 0; }
+.row { position: relative; height: 16px; }
+.bar { position: absolute; height: 12px; top: 2px; border-radius: 2px;
+       min-width: 3px; opacity: 0.9; }
+.lbl { position: absolute; left: 4px; font-size: 10px; color: #333;
+       line-height: 16px; white-space: nowrap; pointer-events: none; }
+.axis { font-size: 10px; color: #666; margin-bottom: 2px; }
+.legend span { margin-right: 10px; font-size: 11px; }
+.note { font-size: 11px; color: #666; }
+"""
+
+#: Waterfalls rendered per section before truncating with a note.
+_MAX_WATERFALLS = 12
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _badge(status: str) -> str:
+    color = _STATUS_COLORS.get(status, "#555")
+    return f'<span class="badge" style="background:{color}">{_esc(status)}</span>'
+
+
+def _tiles(summary: dict[str, Any]) -> str:
+    latency = summary.get("detection_latency", {})
+    mean = latency.get("mean")
+    tiles = [
+        ("links", summary.get("links", 0)),
+        ("sessions", summary.get("sessions_completed", 0)),
+        ("detections", summary.get("detections", 0)),
+        ("mean detect latency",
+         "-" if mean is None else f"{mean * 1e3:.0f} ms"),
+        ("unattributed (FP)", summary.get("unattributed_detections", 0)),
+        ("sim time", f"{summary.get('sim_time', 0.0):.2f} s"),
+    ]
+    cells = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>' for k, v in tiles)
+    return f'<div class="tiles">{cells}</div>'
+
+
+def _topology_table(topology: list[dict[str, Any]]) -> str:
+    if not topology:
+        return '<p class="note">no topology recorded</p>'
+    rows = "".join(
+        f"<tr><td>{_esc(n['node'])}</td><td>{_esc(n['degree'])}</td>"
+        f"<td>{_esc(', '.join(n['neighbors']))}</td>"
+        f"<td>{_esc(n.get('monitored_out', 0))}</td></tr>"
+        for n in topology)
+    return ("<table><tr><th>node</th><th>degree</th><th>neighbors</th>"
+            f"<th>monitored out-links</th></tr>{rows}</table>")
+
+
+def _links_table(links: list[dict[str, Any]]) -> str:
+    rows = []
+    for link in links:
+        latencies = link.get("detection_latencies", [])
+        lat = f"{min(latencies) * 1e3:.0f} ms" if latencies else "-"
+        detections = link.get("detections", {})
+        det = ", ".join(f"{k}×{v}" for k, v in sorted(detections.items())) \
+            or "-"
+        rows.append(
+            f"<tr><td>{_esc(link['link'])}</td>"
+            f"<td>{_badge(link['status'])}</td>"
+            f"<td>{_esc(link.get('sessions_completed', 0))}</td>"
+            f"<td>{_esc(det)}</td>"
+            f"<td>{_esc(', '.join(link.get('flagged_entries', [])) or '-')}"
+            f"</td><td>{_esc(lat)}</td>"
+            f"<td>{_esc(', '.join(link.get('rerouted_entries', [])) or '-')}"
+            f"</td><td>{_esc(link.get('unattributed_detections', 0))}</td>"
+            f"<td>{_esc(link.get('traces', 0))}/{_esc(link.get('spans', 0))}"
+            f"</td></tr>")
+    return ("<table><tr><th>link</th><th>status</th><th>sessions</th>"
+            "<th>detections</th><th>flagged entries</th><th>latency</th>"
+            "<th>rerouted</th><th>FP</th><th>traces/spans</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _group_traces(spans: list[dict[str, Any]]
+                  ) -> dict[str, list[dict[str, Any]]]:
+    grouped: dict[str, list[dict[str, Any]]] = {}
+    for span in spans:
+        grouped.setdefault(span["trace"], []).append(span)
+    return grouped
+
+
+def _waterfall(trace_id: str, spans: list[dict[str, Any]]) -> str:
+    t0 = min(s["start"] for s in spans)
+    t1 = max(s["end"] if s["end"] is not None else s["start"] for s in spans)
+    width = max(t1 - t0, 1e-9)
+    rows = []
+    for span in spans:
+        end = span["end"] if span["end"] is not None else t1
+        left = (span["start"] - t0) / width * 100.0
+        bar_w = max((end - span["start"]) / width * 100.0, 0.35)
+        color = _CAT_COLORS.get(span["cat"], "#555")
+        attrs = "; ".join(f"{k}={v}" for k, v in span["attrs"].items())
+        tip = (f"{span['cat']}:{span['name']} "
+               f"t={span['start']:.4f}s d={end - span['start']:.4f}s"
+               + (f" [{attrs}]" if attrs else ""))
+        rows.append(
+            f'<div class="row"><div class="bar" title="{_esc(tip)}" '
+            f'style="left:{left:.2f}%;width:{bar_w:.2f}%;'
+            f'background:{color}"></div>'
+            f'<div class="lbl">{_esc(span["name"])}</div></div>')
+    scope = spans[0].get("scope", "")
+    head = (f"<h3>{_esc(trace_id)}"
+            + (f' <span class="note">on {_esc(scope)}</span>' if scope else "")
+            + "</h3>")
+    axis = (f'<div class="axis">t = {t0:.4f} s … {t1:.4f} s '
+            f"({(t1 - t0) * 1e3:.1f} ms, {len(spans)} spans)</div>")
+    return head + axis + f'<div class="wf">{"".join(rows)}</div>'
+
+
+def _legend() -> str:
+    parts = "".join(
+        f'<span><span class="badge" style="background:{color}">'
+        f"{_esc(cat)}</span></span>"
+        for cat, color in _CAT_COLORS.items())
+    return f'<div class="legend">{parts}</div>'
+
+
+def render_html(sections: list[dict[str, Any]],
+                title: str = "FANcY fabric health report") -> str:
+    """Render health + trace sections into one offline HTML page.
+
+    Each section: ``{"name": str, "health": FabricHealthReport.to_dict()
+    shape, "spans": [span dicts]}`` — ``health``/``spans`` may each be
+    missing/empty.
+    """
+    body: list[str] = [f"<h1>{_esc(title)}</h1>"]
+    for section in sections:
+        body.append(f"<h2>{_esc(section.get('name', 'fabric'))}</h2>")
+        health = section.get("health") or {}
+        if health:
+            body.append(_tiles(health.get("summary", {})))
+            body.append("<h3>topology</h3>")
+            body.append(_topology_table(health.get("topology", [])))
+            body.append("<h3>per-link health</h3>")
+            body.append(_links_table(health.get("links", [])))
+        spans = section.get("spans") or []
+        if spans:
+            body.append("<h3>detection traces</h3>")
+            body.append(_legend())
+            grouped = _group_traces(spans)
+            for i, (trace_id, trace_spans) in enumerate(grouped.items()):
+                if i >= _MAX_WATERFALLS:
+                    body.append(
+                        f'<p class="note">… {len(grouped) - _MAX_WATERFALLS} '
+                        "more trace(s) in the JSONL export</p>")
+                    break
+                body.append(_waterfall(trace_id, trace_spans))
+        elif health:
+            body.append('<p class="note">no detection traces recorded</p>')
+    return ("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+            f"<title>{_esc(title)}</title><style>{_STYLE}</style></head>"
+            f"<body>{''.join(body)}</body></html>\n")

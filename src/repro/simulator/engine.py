@@ -138,6 +138,9 @@ class Simulator:
         self._profile = False
         self._m_events: Any = None
         self._m_depth: Any = None
+        #: Memoized per-callback profile histograms, keyed by label —
+        #: the registry lookup must stay off the per-event path (FCY009).
+        self._profile_hists: dict[str, Any] = {}
         if telemetry is not None:
             self.bind_telemetry(telemetry)
 
@@ -149,11 +152,26 @@ class Simulator:
         """
         self._telemetry = telemetry
         self._profile = bool(getattr(telemetry, "profile", False))
+        self._profile_hists = {}
         metrics = telemetry.metrics
         self._m_events = metrics.counter(
             "sim_events_total", "Events processed by the discrete-event engine")
         self._m_depth = metrics.gauge(
             "sim_queue_depth", "Pending events in the engine's binary heap")
+
+    def _profile_histogram(self, callback: Callable[..., Any]) -> Any:
+        """Per-callback wall-time histogram, created once per label."""
+        label = _callback_name(callback)
+        hist = self._profile_hists.get(label)
+        if hist is None:
+            assert self._telemetry is not None
+            hist = self._telemetry.metrics.histogram(
+                "sim_callback_seconds",
+                "Wall-clock seconds spent inside one event callback",
+                start=1e-7, base=10.0, n_buckets=8, callback=label,
+            )
+            self._profile_hists[label] = hist
+        return hist
 
     @property
     def now(self) -> float:
@@ -281,12 +299,7 @@ class Simulator:
             started = _time.perf_counter()
             handle.callback(*handle.args)
             elapsed = _time.perf_counter() - started
-            telemetry.metrics.histogram(
-                "sim_callback_seconds",
-                "Wall-clock seconds spent inside one event callback",
-                start=1e-7, base=10.0, n_buckets=8,
-                callback=_callback_name(handle.callback),
-            ).observe(elapsed)
+            self._profile_histogram(handle.callback).observe(elapsed)
         else:
             handle.callback(*handle.args)
         self._m_events.inc()

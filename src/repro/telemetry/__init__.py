@@ -14,11 +14,15 @@ of truth:
 * :mod:`~repro.telemetry.export` — Prometheus text format and JSONL
   exporters plus the event-loop :func:`hotspots` profile;
 * :mod:`~repro.telemetry.session` — the :class:`Telemetry` bundle that
-  instrumented components accept as ``telemetry=``.
+  instrumented components accept as ``telemetry=``; it also carries a
+  :class:`~repro.obs.trace.TraceCollector` (re-exported here) stringing
+  each detection episode into a causal trace — see :mod:`repro.obs`.
 
-See ``docs/TELEMETRY.md`` for the metric catalogue and workflows.
+See ``docs/TELEMETRY.md`` for the metric catalogue, the trace schema
+and workflows.
 """
 
+from ..obs.trace import Span, TraceCollector
 from .export import hotspots, to_jsonl, to_prometheus
 from .registry import (
     NULL_REGISTRY,
@@ -41,6 +45,8 @@ __all__ = [
     "NULL_REGISTRY",
     "merge_snapshots",
     "Telemetry",
+    "Span",
+    "TraceCollector",
     "StateTimeline",
     "TimelineEvent",
     "DetectionRecord",

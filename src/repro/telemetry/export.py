@@ -37,7 +37,14 @@ def _label_str(labels: dict, extra: Optional[dict] = None) -> str:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value: backslash, double-quote, newline (v0.0.4)."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    """Escape HELP text: only backslash and newline — a double quote is
+    legal as-is there, and ``\\"`` would be read back as two characters."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt(value) -> str:
@@ -56,41 +63,56 @@ def to_prometheus(source: Union[MetricsRegistry, dict],
 
     Counters are suffixed ``_total`` when not already; histograms expose
     cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+
+    Series are grouped by metric family first (families ordered by first
+    occurrence in the input): the exposition format allows ``# HELP`` /
+    ``# TYPE`` only once per family and requires all of a family's
+    samples to follow its header contiguously — interleaved input must
+    not split a family apart.
     """
     entries = _entries(source)
     helps = dict(help_of or {})
     if isinstance(source, MetricsRegistry):
         helps.update({name: source.help_of(name) for name in source.families()})
 
-    lines: list[str] = []
-    seen_header: set[str] = set()
+    families: dict[str, list[dict]] = {}
     for entry in entries:
         name = entry["name"]
-        kind = entry["kind"]
-        labels = entry.get("labels", {})
-        prom_name = name if kind != "counter" or name.endswith("_total") else f"{name}_total"
-        if prom_name not in seen_header:
-            help_text = helps.get(name, "")
-            if help_text:
-                lines.append(f"# HELP {prom_name} {_escape(help_text)}")
-            lines.append(f"# TYPE {prom_name} {_PROM_KINDS.get(kind, 'untyped')}")
-            seen_header.add(prom_name)
-        if kind == "histogram":
-            cumulative = 0
-            for upper, count in zip(entry["buckets"], entry["counts"]):
-                cumulative += count
+        prom_name = (name if entry["kind"] != "counter"
+                     or name.endswith("_total") else f"{name}_total")
+        families.setdefault(prom_name, []).append(entry)
+
+    lines: list[str] = []
+    for prom_name, group in families.items():
+        name = group[0]["name"]
+        kind = group[0]["kind"]
+        help_text = helps.get(name, "")
+        if help_text:
+            lines.append(f"# HELP {prom_name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {prom_name} {_PROM_KINDS.get(kind, 'untyped')}")
+        for entry in group:
+            labels = entry.get("labels", {})
+            if entry["kind"] == "histogram":
+                cumulative = 0
+                for upper, count in zip(entry["buckets"], entry["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{prom_name}_bucket"
+                        f"{_label_str(labels, {'le': _fmt(float(upper))})} "
+                        f"{cumulative}"
+                    )
+                cumulative += entry["counts"][-1]
                 lines.append(
-                    f"{prom_name}_bucket{_label_str(labels, {'le': _fmt(float(upper))})} "
+                    f"{prom_name}_bucket{_label_str(labels, {'le': '+Inf'})} "
                     f"{cumulative}"
                 )
-            cumulative += entry["counts"][-1]
-            lines.append(
-                f"{prom_name}_bucket{_label_str(labels, {'le': '+Inf'})} {cumulative}"
-            )
-            lines.append(f"{prom_name}_sum{_label_str(labels)} {_fmt(entry['sum'])}")
-            lines.append(f"{prom_name}_count{_label_str(labels)} {entry['count']}")
-        else:
-            lines.append(f"{prom_name}{_label_str(labels)} {_fmt(entry['value'])}")
+                lines.append(
+                    f"{prom_name}_sum{_label_str(labels)} {_fmt(entry['sum'])}")
+                lines.append(
+                    f"{prom_name}_count{_label_str(labels)} {entry['count']}")
+            else:
+                lines.append(
+                    f"{prom_name}{_label_str(labels)} {_fmt(entry['value'])}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -105,6 +105,18 @@ class StateTimeline:
         self.suppressed = 0
         self._last_time = float("-inf")
         self._seq = 0
+        self._suppression_counter: Any = None
+
+    def bind_suppression_counter(self, counter: Any) -> None:
+        """Mirror bounded-suppression drops into a registry counter.
+
+        A truncated timeline is a blindspot — detection pairing and FSM
+        forensics silently lose their tail.  :class:`~repro.telemetry.
+        session.Telemetry` binds ``telemetry_timeline_truncated_total``
+        here so the drop count shows up in metric exports instead of
+        only inside the (possibly never-serialized) timeline object.
+        """
+        self._suppression_counter = counter
 
     # -- recording ------------------------------------------------------------
 
@@ -119,6 +131,8 @@ class StateTimeline:
         self._last_time = time
         if len(self.events) >= self.max_events:
             self.suppressed += 1
+            if self._suppression_counter is not None:
+                self._suppression_counter.inc()
             return
         self.events.append(TimelineEvent(time, self._seq, source, event, fields))
         self._seq += 1

@@ -1,0 +1,21 @@
+"""Clean counterpart: instruments resolved once, hot paths only record."""
+
+
+class EgressHook:
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+        self._m_pkts = telemetry.metrics.counter(
+            "pkts_total", "packets seen", port="1")
+        self._m_depth = telemetry.metrics.gauge(
+            "queue_depth", "pending events")
+
+    def on_packet(self, packet):
+        self._m_pkts.inc()
+        return packet.size
+
+    def tick(self):
+        self._m_depth.set(3)
+
+
+def dispatch(event, hist):
+    hist.observe(0.1)

@@ -21,6 +21,7 @@ EXPECTED_BAD = {
     "FCY006": 2,
     "FCY007": 3,
     "FCY008": 3,
+    "FCY009": 3,
 }
 
 
@@ -170,6 +171,45 @@ class TestChaosRngStreams:
     def test_non_draw_attribute_access_allowed(self):
         source = "def f(other):\n    return other.rng.getstate()\n"
         assert lint_source(source, rel_path="chaos/x.py") == []
+
+
+class TestHotPathInstruments:
+    """FCY009: instrument factories stay off per-packet/per-event paths."""
+
+    def test_factory_in_packet_function_flagged(self):
+        source = (
+            "def on_packet(self, packet):\n"
+            "    self.metrics.counter('x_total', 'x').inc()\n"
+        )
+        assert [d.code for d in lint_source(source, rel_path="simulator/x.py")] == ["FCY009"]
+
+    def test_factory_by_hot_name_flagged(self):
+        source = (
+            "def tick(self):\n"
+            "    self.registry.gauge('depth', 'd').set(1)\n"
+        )
+        assert [d.code for d in lint_source(source, rel_path="fabric/x.py")] == ["FCY009"]
+
+    def test_prebound_instrument_allowed(self):
+        source = (
+            "def on_packet(self, packet):\n"
+            "    self._m_pkts.inc()\n"
+        )
+        assert lint_source(source, rel_path="simulator/x.py") == []
+
+    def test_factory_in_cold_function_allowed(self):
+        source = (
+            "def bind_telemetry(self, telemetry):\n"
+            "    self._m = telemetry.metrics.counter('x_total', 'x')\n"
+        )
+        assert lint_source(source, rel_path="simulator/x.py") == []
+
+    def test_scoped_out_of_core(self):
+        source = (
+            "def on_packet(self, packet):\n"
+            "    self.metrics.counter('x_total', 'x').inc()\n"
+        )
+        assert lint_source(source, rel_path="core/x.py") == []
 
 
 class TestUseAfterReleaseControlFlow:

@@ -1,0 +1,90 @@
+"""HTML dashboard: offline self-containment, escaping, waterfall layout."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.report import render_html
+from repro.obs.trace import TraceCollector
+
+
+def _section():
+    tc = TraceCollector(scope="s1->s2")
+    tc.begin_episode(1.0, cause="fault", link="s1->s2")
+    tc.open_span("session 1", 1.1, category="protocol")
+    tc.emit("flag", 1.5, category="detect", entry="victim")
+    tc.finalize(2.0)
+    health = {
+        "summary": {
+            "sim_time": 2.0, "links": 1,
+            "status": {"healthy": 0, "degraded": 0, "flagged": 1,
+                       "rerouted": 0},
+            "detections": 1, "sessions_completed": 4,
+            "unattributed_detections": 0,
+            "detection_latency": {"count": 1, "min": 0.5, "mean": 0.5,
+                                  "max": 0.5},
+        },
+        "links": [{
+            "link": "s1->s2", "status": "flagged",
+            "flagged_entries": ["'victim'"], "flagged_leaf_paths": 0,
+            "link_down": False, "detections": {"dedicated_entry": 1},
+            "sessions_completed": 4, "rejected_corrupt": 0,
+            "rejected_stale": 0, "restarts": 0, "timeline_truncated": 0,
+            "rerouted_entries": [], "detection_latencies": [0.5],
+            "unattributed_detections": 0, "traces": 1, "spans": 3,
+        }],
+        "topology": [{"node": "s1", "degree": 2,
+                      "neighbors": ["s0", "s2"], "monitored_out": 1}],
+    }
+    return {"name": "ring", "health": health, "spans": tc.span_dicts()}
+
+
+class TestOfflineSelfContainment:
+    def test_no_external_assets(self):
+        page = render_html([_section()])
+        assert "http://" not in page and "https://" not in page
+        assert "<script" not in page
+        assert "@import" not in page and "url(" not in page
+
+    def test_single_document(self):
+        page = render_html([_section()])
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<html>") == 1 and page.count("</html>") == 1
+        assert "<style>" in page  # inline CSS only
+
+
+class TestContent:
+    def test_sections_and_tables_render(self):
+        page = render_html([_section()])
+        assert "<h2>ring</h2>" in page
+        assert "s1-&gt;s2" in page  # escaped link id
+        assert "flagged" in page
+        assert "500 ms" in page  # mean detection latency tile
+
+    def test_waterfall_bars_per_span(self):
+        page = render_html([_section()])
+        assert page.count('class="bar"') == 3
+        assert "s1-&gt;s2#001" in page
+
+    def test_attr_values_escaped(self):
+        section = _section()
+        section["spans"][0]["attrs"]["evil"] = '<script>"x"</script>'
+        page = render_html([section])
+        assert "<script>" not in page
+
+    def test_empty_sections_tolerated(self):
+        page = render_html([{"name": "empty"}])
+        assert "<h2>empty</h2>" in page
+
+    def test_waterfall_truncation_note(self):
+        tc = TraceCollector(scope="l")
+        for i in range(15):
+            tc.begin_episode(float(i), cause="fault")
+            tc.end_episode(float(i) + 0.5)
+        page = render_html([{"name": "many", "spans": tc.span_dicts()}])
+        assert re.search(r"3\s*more trace", page)
+
+    def test_bar_positions_are_percentages(self):
+        page = render_html([_section()])
+        for left in re.findall(r"left:([\d.]+)%", page):
+            assert 0.0 <= float(left) <= 100.0

@@ -1,0 +1,172 @@
+"""TraceCollector: episodes, spans, determinism, exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    CATEGORIES,
+    Span,
+    TraceCollector,
+    chrome_trace,
+    chrome_trace_from_dicts,
+    spans_to_jsonl,
+)
+
+
+class TestEpisodeLifecycle:
+    def test_inactive_by_default(self):
+        tc = TraceCollector(scope="s1->s2")
+        assert not tc.active
+        assert tc.trace_id is None
+
+    def test_trace_id_minting(self):
+        tc = TraceCollector(scope="s1->s2")
+        assert tc.begin_episode(1.0, cause="fault") == "s1->s2#001"
+        tc.end_episode(2.0)
+        assert tc.begin_episode(3.0, cause="fault") == "s1->s2#002"
+
+    def test_unscoped_collector_mints_generic_ids(self):
+        tc = TraceCollector()
+        assert tc.begin_episode(0.0, cause="fault") == "trace#001"
+
+    def test_emit_outside_episode_is_noop(self):
+        tc = TraceCollector()
+        assert tc.emit("flag", 1.0, category="detect") is None
+        assert tc.open_span("zoom", 1.0, category="zoom") is None
+        assert len(tc) == 0
+
+    def test_ensure_episode_opens_once(self):
+        tc = TraceCollector(scope="x")
+        first = tc.ensure_episode(1.0, cause="detection")
+        again = tc.ensure_episode(2.0, cause="detection")
+        assert first == again == "x#001"
+        assert len(tc) == 1  # only the root span
+
+    def test_end_episode_closes_open_spans(self):
+        tc = TraceCollector()
+        tc.begin_episode(1.0, cause="fault")
+        span = tc.open_span("session", 1.1, category="protocol")
+        tc.end_episode(2.0)
+        assert all(s.end == 2.0 for s in tc.spans)
+        assert span is not None
+        assert not tc.active
+
+    def test_finalize_is_idempotent_on_empty(self):
+        tc = TraceCollector()
+        tc.finalize(0.0)
+        tc.finalize(1.0)
+        assert len(tc) == 0
+
+
+class TestSpanRecording:
+    def test_spans_parent_to_root_by_default(self):
+        tc = TraceCollector()
+        tc.begin_episode(1.0, cause="fault")
+        root = tc.spans[0]
+        span = tc.emit("flag", 1.5, category="detect")
+        assert tc.spans[-1].parent == root.span
+        assert span == tc.spans[-1].span
+
+    def test_explicit_parenting(self):
+        tc = TraceCollector()
+        tc.begin_episode(1.0, cause="fault")
+        session = tc.open_span("session", 1.1, category="protocol")
+        tc.emit("fancy_start", 1.1, category="control", parent=session)
+        assert tc.spans[-1].parent == session
+
+    def test_close_span_tolerates_none_and_unknown(self):
+        tc = TraceCollector()
+        tc.close_span(None, 1.0)
+        tc.begin_episode(1.0, cause="fault")
+        tc.close_span(999, 2.0)  # never opened
+
+    def test_monotone_timestamps_enforced(self):
+        tc = TraceCollector()
+        tc.begin_episode(5.0, cause="fault")
+        with pytest.raises(ValueError, match="monotone"):
+            tc.emit("flag", 4.0, category="detect")
+
+    def test_max_spans_bound(self):
+        tc = TraceCollector(max_spans=3)
+        tc.begin_episode(0.0, cause="fault")
+        for i in range(5):
+            tc.emit(f"e{i}", float(i), category="chaos")
+        assert len(tc.spans) == 3
+        assert tc.suppressed == 3
+
+    def test_attrs_are_json_safe(self):
+        tc = TraceCollector()
+        tc.begin_episode(0.0, cause="fault", path=(1, 2), extra={"k": (3,)})
+        attrs = tc.spans[0].attrs
+        json.dumps(attrs)  # must not raise
+        assert attrs["path"] == [1, 2]
+        assert attrs["extra"] == {"k": [3]}
+
+    def test_overlapping_episodes_each_get_a_trace(self):
+        tc = TraceCollector(scope="l")
+        tc.begin_episode(1.0, cause="fault")
+        tc.begin_episode(2.0, cause="fault")
+        tc.emit("flag", 3.0, category="detect")
+        assert tc.spans[-1].trace == "l#002"
+        assert set(tc.traces()) == {"l#001", "l#002"}
+
+
+class TestQueries:
+    def test_counts_by_category(self):
+        tc = TraceCollector()
+        tc.begin_episode(0.0, cause="fault")
+        tc.emit("a", 1.0, category="detect")
+        tc.emit("b", 1.0, category="detect")
+        assert tc.counts() == {"cause": 1, "detect": 2}
+
+    def test_duration_of_open_span_is_zero(self):
+        span = Span(trace="t", span=1, parent=None, name="x", cat="cause",
+                    start=2.0)
+        assert span.duration == 0.0
+
+
+class TestSerialization:
+    def _collector(self):
+        tc = TraceCollector(scope="s1->s2")
+        tc.begin_episode(1.0, cause="fault", link="s1->s2")
+        tc.open_span("session", 1.1, category="protocol")
+        tc.emit("flag", 1.5, category="detect")
+        tc.finalize(2.0)
+        return tc
+
+    def test_jsonl_is_key_sorted_and_stable(self):
+        tc = self._collector()
+        text = tc.to_jsonl()
+        assert text == tc.to_jsonl()
+        for line in text.strip().splitlines():
+            obj = json.loads(line)
+            assert list(obj) == sorted(obj)
+            assert obj["scope"] == "s1->s2"
+
+    def test_identical_runs_serialize_byte_identically(self):
+        assert self._collector().to_jsonl() == self._collector().to_jsonl()
+
+    def test_spans_to_jsonl_empty(self):
+        assert spans_to_jsonl([]) == ""
+
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace([self._collector()])
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # thread_name metadata first
+        assert events[0]["args"]["name"] == "s1->s2 s1->s2#001"
+        kinds = {e["ph"] for e in events[1:]}
+        assert kinds == {"X", "i"}  # durative root+session, instant flag
+        x = next(e for e in events if e["ph"] == "X")
+        assert x["ts"] == pytest.approx(1.0 * 1e6)
+
+    def test_chrome_trace_from_dicts_matches_collector_path(self):
+        tc = self._collector()
+        assert chrome_trace([tc]) == chrome_trace_from_dicts(tc.span_dicts())
+
+
+def test_category_vocabulary_is_closed():
+    assert "cause" in CATEGORIES and "reroute" in CATEGORIES
+    assert len(set(CATEGORIES)) == len(CATEGORIES)

@@ -104,3 +104,60 @@ class TestHotspots:
 
     def test_no_profile_data(self):
         assert hotspots(MetricsRegistry()) == []
+
+
+class TestExpositionFormat:
+    """Prometheus text-format conformance: grouping and escaping."""
+
+    def test_interleaved_registrations_emit_contiguous_families(self):
+        reg = MetricsRegistry()
+        reg.counter("tx_total", "packets", link="a").inc()
+        reg.gauge("depth").set(1)
+        reg.counter("tx_total", "packets", link="b").inc()
+        lines = to_prometheus(reg).splitlines()
+        tx = [i for i, ln in enumerate(lines) if "tx_total" in ln]
+        # HELP, TYPE, then both samples back to back — no `depth` lines
+        # interleaved, and the headers appear exactly once.
+        assert tx == list(range(tx[0], tx[0] + 4))
+        assert sum(ln.startswith("# TYPE tx_total") for ln in lines) == 1
+        assert sum(ln.startswith("# HELP tx_total") for ln in lines) == 1
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("tx_total", link='say "hi"\\now\n').inc()
+        text = to_prometheus(reg)
+        assert '{link="say \\"hi\\"\\\\now\\n"}' in text
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        reg = MetricsRegistry()
+        reg.counter("tx_total", 'path a\\b "quoted"\nrest').inc()
+        text = to_prometheus(reg)
+        # Per exposition format, HELP escapes \ and newline but NOT quotes.
+        assert '# HELP tx_total path a\\\\b "quoted"\\nrest' in text
+
+
+class TestTimelineTruncationCounter:
+    def test_drops_surface_in_registry(self):
+        from repro.telemetry import StateTimeline, Telemetry
+
+        telemetry = Telemetry(timeline=StateTimeline(max_events=2),
+                              scope="s0->s1")
+        for i in range(5):
+            telemetry.timeline.record(float(i), "mon", "fsm_transition")
+        assert telemetry.timeline.suppressed == 3
+        assert telemetry.metrics.value(
+            "telemetry_timeline_truncated_total", scope="s0->s1") == 3
+        assert "telemetry_timeline_truncated_total" in to_prometheus(
+            telemetry.metrics)
+
+    def test_fork_gets_its_own_labelled_series(self):
+        from repro.telemetry import StateTimeline, Telemetry
+
+        root = Telemetry(timeline=StateTimeline(max_events=1))
+        fork = root.fork(scope="s1->s2")
+        fork.timeline.record(0.0, "mon", "a")
+        fork.timeline.record(1.0, "mon", "b")  # dropped
+        assert root.metrics.value(
+            "telemetry_timeline_truncated_total", scope="s1->s2") == 1
+        assert root.metrics.value(
+            "telemetry_timeline_truncated_total", scope="root") == 0
