@@ -4,15 +4,21 @@ Each benchmark regenerates one table or figure of the paper (in the
 reduced quick configuration — see DESIGN.md), asserts its shape, and
 writes the rendered artifact to ``results/`` next to this file so the
 reproduction output can be inspected after the run.
+
+Machine-readable ``BENCH_*.json`` records are additionally copied to the
+repository root after the run (``pytest_sessionfinish``), where CI picks
+them up as artifacts and the regression gates find the committed copies.
 """
 
 from __future__ import annotations
 
 import pathlib
+import shutil
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parents[1]
 
 
 @pytest.fixture(scope="session")
@@ -28,3 +34,11 @@ def save_artifact(results_dir):
         print(f"\n{text}\n")
 
     return _save
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Mirror the machine-readable bench records to the repository root."""
+    if not RESULTS_DIR.is_dir():
+        return
+    for record in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        shutil.copyfile(record, REPO_ROOT / record.name)

@@ -59,6 +59,12 @@ def _case_record(result: dict, wall_s: float, sim_s: float) -> dict:
         "attribution_correct": result["attribution_correct"],
         "wall_s": round(wall_s, 2),
         "sim_s": sim_s,
+        # Per-mode event accounting: what the engine processed discretely
+        # vs what the fluid model absorbed into bulk counter updates
+        # (zero here — this bench runs the discrete closed loop; see
+        # test_fluid_bench.py for the fluid side of the comparison).
+        "events_processed": result["events_processed"],
+        "fluid_absorbed": result["fluid_absorbed"],
     }
 
 
@@ -123,7 +129,9 @@ def test_fabric_bench(save_artifact, results_dir):
             f"detect {r['detection_latency_s'] * 1e3:.0f} ms, "
             f"reroute {r['reroute_latency_s'] * 1e3:.0f} ms, "
             f"recovered {r['recovery_fraction'] * 100:.0f}% "
-            f"({r['sim_s']}s sim in {r['wall_s']}s wall)")
+            f"({r['sim_s']}s sim in {r['wall_s']}s wall, "
+            f"{r['events_processed']:,} events discrete, "
+            f"{r['fluid_absorbed']:,} fluid-absorbed)")
     save_artifact("fabric_bench", "\n".join(lines))
 
     # Shape assertions: the loop must actually close in both fabrics.

@@ -1,0 +1,128 @@
+"""Benchmark: hybrid fluid/packet traffic engine (docs/PERFORMANCE.md).
+
+Runs the quick ring and k=4 fat-tree closed-loop cases with 16
+background flows twice each — once with discrete per-packet background
+UDP, once with the fluid model absorbing it — and records, per case:
+
+* **wall-clock speedup** — discrete / fluid, best-of-N; the acceptance
+  floor is 5x on both fabrics;
+* **event counts per mode** — engine events processed discretely vs
+  packet emissions the fluid model absorbed into bulk counter updates,
+  so the speedup is attributable;
+* **detection latency per mode** — the two models must flag the failed
+  link at statistically indistinguishable times (in this configuration
+  they match exactly).
+
+Writes ``results/fluid_bench.txt`` (human-readable) and
+``results/BENCH_fluid.json`` (machine-readable).  CI's fabric-smoke job
+uploads the JSON and gates on a >30% speedup regression against the
+committed record (``test_fluid_regression_gate``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import fabric
+
+#: Quick fluid-benchmark configuration: enough background flows that the
+#: per-packet event stream dominates the discrete run, hash tree enabled
+#: so the background is actually monitored.
+QUICK = replace(fabric.FabricExpConfig(), duration_s=3.0,
+                fat_tree_duration_s=2.0, background_entries=16, tree=True)
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _timed_case(case: str, fluid: bool, rounds: int = 2):
+    """Best-of-N run of one closed-loop case; returns (result, wall_s)."""
+    config = replace(QUICK, fluid=fluid)
+    runner = (fabric.run_ring_case if case == "ring"
+              else fabric.run_fat_tree_case)
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = runner(config)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[1]:
+            best = (result, wall)
+    return best
+
+
+def _case_record(case: str) -> dict:
+    discrete, d_wall = _timed_case(case, fluid=False)
+    fluid, f_wall = _timed_case(case, fluid=True)
+    return {
+        "discrete_wall_s": round(d_wall, 3),
+        "fluid_wall_s": round(f_wall, 3),
+        "speedup": round(d_wall / f_wall, 2),
+        "discrete_events": discrete["events_processed"],
+        "fluid_events": fluid["events_processed"],
+        "fluid_absorbed": fluid["fluid_absorbed"],
+        "detection_latency_discrete_s": round(discrete["detection_delay"], 4),
+        "detection_latency_fluid_s": round(fluid["detection_delay"], 4),
+        "recovery_fraction_fluid": round(fluid["recovery_fraction"], 3),
+    }
+
+
+def test_fluid_regression_gate():
+    """CI regression gate against the committed ``BENCH_fluid.json``.
+
+    Skipped unless ``BENCH_FLUID_BASELINE`` points at the committed
+    record (the fabric-smoke job sets it).  Gates on a >30% regression
+    of the fluid-model speedup on either fabric.
+    """
+    baseline_path = os.environ.get("BENCH_FLUID_BASELINE")
+    if not baseline_path:
+        pytest.skip("BENCH_FLUID_BASELINE not set (CI-only gate)")
+    committed = json.loads(pathlib.Path(baseline_path).read_text())
+
+    for case in ("ring", "fat_tree"):
+        live = _case_record(case)
+        floor = 0.7 * committed[case]["speedup"]
+        assert live["speedup"] >= floor, (
+            f"fluid speedup on {case} regressed >30%: "
+            f"{live['speedup']}x live vs "
+            f"{committed[case]['speedup']}x committed")
+
+
+def test_fluid_bench(save_artifact, results_dir):
+    record = {
+        "schema": "bench-fluid/1",
+        "ring": _case_record("ring"),
+        "fat_tree": _case_record("fat_tree"),
+    }
+    (results_dir / "BENCH_fluid.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    lines = ["hybrid fluid/packet engine — discrete vs fluid background", ""]
+    for case in ("ring", "fat_tree"):
+        r = record[case]
+        lines.append(
+            f"  {case:<9}: {r['speedup']:>5.1f}x wall "
+            f"({r['discrete_wall_s']}s -> {r['fluid_wall_s']}s), "
+            f"events {r['discrete_events']:,} -> {r['fluid_events']:,} "
+            f"({r['fluid_absorbed']:,} absorbed), "
+            f"detect {r['detection_latency_discrete_s'] * 1e3:.0f} / "
+            f"{r['detection_latency_fluid_s'] * 1e3:.0f} ms")
+    save_artifact("fluid_bench", "\n".join(lines))
+
+    for case in ("ring", "fat_tree"):
+        r = record[case]
+        # The acceptance floor: >= 5x wall-clock on both fabrics.
+        assert r["speedup"] >= SPEEDUP_FLOOR, (
+            f"fluid model below the {SPEEDUP_FLOOR}x floor on {case}: "
+            f"{r['speedup']}x")
+        # The speedup must be attributable to absorbed packet events...
+        assert r["fluid_absorbed"] > 0
+        assert r["fluid_events"] < r["discrete_events"] / 5
+        # ...and must not move the detection result.
+        assert (abs(r["detection_latency_fluid_s"]
+                    - r["detection_latency_discrete_s"]) <= 0.25)
+        assert r["recovery_fraction_fluid"] > 0.8

@@ -206,6 +206,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="suppress the live stderr progress line",
     )
     parser.add_argument(
+        "--fluid",
+        action="store_true",
+        help="fabric experiment only: model background traffic as fluid "
+             "rate segments absorbed at counting-window boundaries "
+             "instead of per-packet events (docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fabric experiment only: shard the per-link monitor probes "
+             "into N batches run under the sweep executor; merged output "
+             "is byte-identical for any N (docs/FABRIC.md)",
+    )
+    parser.add_argument(
         "--out",
         metavar="DIR",
         default=None,
@@ -233,10 +249,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             text = telemetry_report.main(quick=not args.full, runtime=runtime,
                                          out_dir=out_dir)
         elif name == "fabric":
-            # The fabric experiment owns the --trace flag: detection
-            # traces, Chrome-trace exports and the HTML health report.
+            # The fabric experiment owns the --trace/--fluid/--shards
+            # flags: detection traces, the hybrid fluid tier, and
+            # process-sharded per-link probes.
             text = fabric.main(quick=not args.full, runtime=runtime,
-                               trace=args.trace, out_dir=out_dir)
+                               trace=args.trace, out_dir=out_dir,
+                               fluid=args.fluid, shards=args.shards)
         else:
             text = EXPERIMENTS[name](not args.full, runtime)
         if out_dir is not None and text:

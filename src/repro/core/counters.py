@@ -114,6 +114,18 @@ class DedicatedSenderCounters:
     def owns(self, entry: Any) -> bool:
         return entry in self.index
 
+    def absorb(self, entry: Any, count: int) -> int:
+        """Bulk-add ``count`` sent packets for ``entry`` in one update.
+
+        The fluid traffic model (docs/PERFORMANCE.md) feeds whole
+        counting windows at session boundaries instead of calling
+        :meth:`process_packet` per packet.  Returns the counter index so
+        the caller can mirror the receiver side of the link.
+        """
+        idx = self.index[entry]
+        self.counters[idx] += count
+        return idx
+
     def end_session(self, remote_counters: Sequence[int], session_id: int) -> list[Any]:
         """Compare against the downstream's Report; flag mismatching entries.
 
@@ -196,6 +208,15 @@ class DedicatedReceiverCounters:
             self.counters[idx] += 1
             return True
         return False
+
+    def absorb(self, idx: int, count: int) -> None:
+        """Bulk-add ``count`` received packets at counter ``idx``.
+
+        The receiver-side twin of
+        :meth:`DedicatedSenderCounters.absorb`: the fluid model credits
+        a window's surviving packets in one update.
+        """
+        self.counters[idx] += count
 
     def snapshot(self) -> list[int]:
         return list(self.counters)

@@ -369,6 +369,55 @@ class TreeCounters:
             row = self._offsets[node_path]
         self._data[row * self._width + tag[-1]] += 1
 
+    # -- bulk counting (fluid traffic model) --------------------------------
+
+    def add_pipelined(self, tag: tuple[int, ...], n: int) -> None:
+        """Bulk :meth:`count_pipelined`: ``n`` packets of one tag at once.
+
+        The fluid traffic model (repro.simulator.fluid) feeds whole
+        counting windows through here — one register update instead of
+        one call per packet.  Within a window the zoom frontier is fixed
+        (it only moves at ``end_session``), so a single bulk add is
+        exactly equivalent to ``n`` per-packet increments.
+        """
+        self.packets += n
+        data = self._data
+        data[tag[0]] += n
+        if len(tag) > 1:
+            row = self._offsets.get(tag[:-1])
+            if row is not None:
+                data[row * self._width + tag[-1]] += n
+
+    def add_staged(self, tag: tuple[int, ...], n: int) -> None:
+        """Bulk :meth:`count_staged` for non-pipelined zoom stages."""
+        self.packets += n
+        row = self._offsets.get(tag[:-1])
+        if row is not None:
+            self._data[row * self._width + tag[-1]] += n
+
+    def add_pipelined_materialize(self, tag: tuple[int, ...], n: int) -> None:
+        """Bulk receiver-side add; materializes the frontier node."""
+        self.packets += n
+        data = self._data
+        data[tag[0]] += n
+        if len(tag) > 1:
+            node_path = tag[:-1]
+            row = self._offsets.get(node_path)
+            if row is None:
+                self.activate_node(node_path)
+                row = self._offsets[node_path]
+            data[row * self._width + tag[-1]] += n
+
+    def add_staged_materialize(self, tag: tuple[int, ...], n: int) -> None:
+        """Bulk receiver-side add for non-pipelined zoom stages."""
+        self.packets += n
+        node_path = tag[:-1]
+        row = self._offsets.get(node_path)
+        if row is None:
+            self.activate_node(node_path)
+            row = self._offsets[node_path]
+        self._data[row * self._width + tag[-1]] += n
+
     # -- queries ------------------------------------------------------------
 
     def node(self, path: NodePath) -> _NodeView | None:

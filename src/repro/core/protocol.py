@@ -239,6 +239,15 @@ class FancySender:
         self.session_id = 0
         self.attempts = 0
         self.sessions_completed = 0
+        #: Counting-window observers: ``tap(t_start, t_end, session_id)``
+        #: called when the Counting state closes cleanly, *before* the
+        #: Stop goes out.  This is the protocol-exchange boundary the
+        #: fluid traffic model (repro.simulator.fluid) feeds counters at:
+        #: anything a tap adds to the sender/receiver strategies lands
+        #: after this session's ``begin_session`` reset and before the
+        #: receiver's Report snapshot (taken T_wait after the Stop).
+        self.window_taps: list[Callable[[float, float, int], None]] = []
+        self._counting_since: float | None = None
         #: Hardening counters (always maintained; mirrored to telemetry
         #: when attached).  ``rejected_corrupt`` counts checksum failures,
         #: ``rejected_stale`` counts responses from earlier sessions.
@@ -346,6 +355,10 @@ class FancySender:
     def _declare_link_failure(self) -> None:
         self._cancel_timer()
         self._trace_close_session()
+        # An aborted window never closes cleanly: taps are not invoked
+        # (mirroring the discrete world, where counts accumulated in a
+        # failed session are never compared).
+        self._counting_since = None
         self._set_state(SenderState.FAILED)
         if self.telemetry is not None:
             self.telemetry.metrics.counter(
@@ -359,6 +372,7 @@ class FancySender:
         """Tear the FSM down (experiment teardown)."""
         self._cancel_timer()
         self._trace_close_session()
+        self._counting_since = None
         self._set_state(SenderState.IDLE)
 
     def restart(self) -> None:
@@ -375,6 +389,7 @@ class FancySender:
         self._trace_close_session()
         self.restarts += 1
         self.attempts = 0
+        self._counting_since = None
         self._set_state(SenderState.IDLE)
         self._open_session()
 
@@ -419,6 +434,7 @@ class FancySender:
             self._cancel_timer()
             self._set_state(SenderState.COUNTING)
             self.attempts = 0
+            self._counting_since = self.sim.now
             self._timer = self.sim.schedule(self.session_duration, self._close_session)
         elif kind is PacketKind.FANCY_REPORT and self.state is SenderState.WAIT_REPORT:
             self._cancel_timer()
@@ -440,6 +456,12 @@ class FancySender:
         if self.state is not SenderState.COUNTING:
             return
         self._set_state(SenderState.WAIT_REPORT)
+        if self.window_taps:
+            start = (self._counting_since if self._counting_since is not None
+                     else self.sim.now)
+            for tap in self.window_taps:
+                tap(start, self.sim.now, self.session_id)
+        self._counting_since = None
         self.attempts = 0
         self._send_stop()
 

@@ -200,6 +200,23 @@ class TreeSenderStrategy:
         else:
             self.counters.count_staged(tag)
 
+    # -- fluid traffic interface (repro.simulator.fluid) ---------------------
+
+    def tag_for_entry(self, entry: Any) -> tuple[int, ...] | None:
+        """The tag packets of ``entry`` would carry right now.
+
+        Valid for a whole counting window: the frontier only moves at
+        ``end_session``, which runs strictly between windows.
+        """
+        return self._tag_for(self.tree.hash_path(entry))
+
+    def absorb(self, tag: tuple[int, ...], n: int) -> None:
+        """Bulk-count ``n`` packets of one tag (fluid window feed)."""
+        if self.params.pipelined or self.stage == 0:
+            self.counters.add_pipelined(tag, n)
+        else:
+            self.counters.add_staged(tag, n)
+
     def end_session(self, remote: dict[NodePath, list[int]],
                     session_id: int) -> list[FailureReport]:
         """Compare against the downstream snapshot and advance the zoom."""
@@ -425,6 +442,17 @@ class TreeReceiverStrategy:
         else:
             self.counters.count_staged_materialize(tag)
         return True
+
+    def absorb(self, tag: tuple[int, ...], n: int) -> None:
+        """Bulk-count ``n`` tagged packets (fluid window feed).
+
+        Like :meth:`process_packet`, materializes the frontier node the
+        tag names — the downstream never hashes entries, in bulk either.
+        """
+        if self.params.pipelined or len(tag) == 1:
+            self.counters.add_pipelined_materialize(tag, n)
+        else:
+            self.counters.add_staged_materialize(tag, n)
 
     def snapshot(self) -> dict[NodePath, list[int]]:
         return self.counters.snapshot()

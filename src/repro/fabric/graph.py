@@ -224,6 +224,11 @@ class FabricNetwork:
     def switch(self, node: str) -> Switch:
         return self.switches[node]
 
+    @property
+    def access_delay_s(self) -> float:
+        """Host access-link delay (the first leg of any fluid delay chain)."""
+        return self._access_delay_s
+
     def host(self, node: str) -> Host:
         """The node's host, wired to switch port 0 on first use."""
         h = self.hosts.get(node)

@@ -1,4 +1,4 @@
-"""The fancylint rule catalog (FCY001–FCY009).
+"""The fancylint rule catalog (FCY001–FCY010).
 
 Every rule guards one of the reproduction's determinism / simulator
 invariants (see the package docstring and ``docs/STATIC_ANALYSIS.md``):
@@ -38,6 +38,12 @@ FCY009    telemetry instruments created inside per-packet / per-event
           and hit a dict on every call, so the factory belongs at bind
           time; only ``.inc()``/``.set()``/``.observe()`` may run per
           packet.
+FCY010    per-packet granularity inside the fluid traffic model
+          (``Packet`` construction, per-packet RNG draws in loops) — the
+          fluid tier is a fast path only while it stays bulk — and
+          shard-spec RNG seeding that bypasses ``stable_seed``, which
+          would make shard outputs depend on grouping or process
+          entropy.
 ========  ==============================================================
 
 Rules are small :class:`ast.NodeVisitor` passes over a shared
@@ -780,6 +786,126 @@ class HotPathInstrumentRule(Rule):
         return found
 
 
+# --------------------------------------------------------------------------
+# FCY010 — per-packet granularity / unstable seeding in fluid & shard code
+# --------------------------------------------------------------------------
+
+#: package-relative prefixes of the fluid fast-path implementation.
+_FLUID_SCOPE = ("simulator/fluid",)
+#: package-relative prefixes of shard planning / spec construction.
+_SHARD_SCOPE = ("fabric/sharding",)
+
+
+class FluidGranularityRule(Rule):
+    code = "FCY010"
+    name = "fluid-granularity"
+    summary = (
+        "per-packet work (Packet construction, per-packet RNG draws in "
+        "loops) inside fluid-model code, or shard-spec RNG seeding that "
+        "bypasses stable_seed; the fluid tier is only a fast path while "
+        "it stays bulk, and shard outputs only regroup-invariantly while "
+        "every seed is a stable_seed of the link id"
+    )
+    # Scoping is per sub-check (fluid vs shard files), resolved in
+    # ``check`` so fixture files outside the package can opt in by name.
+    scope = ()
+
+    def _scopes(self, ctx: FileContext) -> tuple[bool, bool]:
+        if ctx.rel_path is not None:
+            return (ctx.rel_path.startswith(_FLUID_SCOPE),
+                    ctx.rel_path.startswith(_SHARD_SCOPE))
+        base = ctx.path.replace("\\", "/").rsplit("/", 1)[-1]
+        return ("fluid" in base, "shard" in base)
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        fluid_scope, shard_scope = self._scopes(ctx)
+        found: list[Diagnostic] = []
+        if fluid_scope:
+            found.extend(self._check_fluid(tree, ctx))
+        if shard_scope:
+            found.extend(self._check_shard(tree, ctx))
+        return found
+
+    # -- fluid files: no per-packet granularity --------------------------
+
+    def _check_fluid(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name is not None and (
+                name == "Packet.acquire" or name.endswith(".Packet.acquire")
+                or name == "Packet" or name.endswith(".Packet")
+            ):
+                found.append(ctx.diagnostic(
+                    node, self.code,
+                    "per-packet object construction in fluid-model code",
+                    hint="the fluid tier feeds counters in bulk at window "
+                         "boundaries; if this path needs real packets it "
+                         "belongs in the discrete plane",
+                ))
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _RNG_DRAW_METHODS):
+                    found.append(ctx.diagnostic(
+                        node, self.code,
+                        f"per-packet RNG draw `{func.attr}()` inside a "
+                        "loop in fluid-model code",
+                        hint="draw losses per rate segment (one seeded "
+                             "binomial per window), not per packet; a "
+                             "deliberate per-emission draw needs a "
+                             "trailing `# fancylint: disable=FCY010` "
+                             "with its justification",
+                    ))
+        return found
+
+    # -- shard files: every seed through stable_seed ---------------------
+
+    def _check_shard(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name == "random.Random":
+                if not self._seeded_by_stable_seed(node, ctx):
+                    found.append(ctx.diagnostic(
+                        node, self.code,
+                        "shard-spec RNG seeded without stable_seed; the "
+                        "stream would depend on grouping or entropy and "
+                        "shard outputs would not be regroup-invariant",
+                        hint="seed from the link id: random.Random("
+                             "stable_seed(base_seed, 'fabric-shard', "
+                             "link_id))",
+                    ))
+            elif name == "hash":
+                found.append(ctx.diagnostic(
+                    node, self.code,
+                    "hash()-derived seed material in shard planning; "
+                    "str hashes are salted per process (PYTHONHASHSEED)",
+                    hint="derive per-link seeds with stable_seed(...)",
+                ))
+        return found
+
+    @staticmethod
+    def _seeded_by_stable_seed(node: ast.Call, ctx: FileContext) -> bool:
+        if len(node.args) != 1 or node.keywords:
+            return False
+        seed = node.args[0]
+        if not isinstance(seed, ast.Call):
+            return False
+        name = _call_name(seed, ctx)
+        return name is not None and (
+            name == "stable_seed" or name.endswith(".stable_seed"))
+
+
 #: Registry, in rule-code order.
 ALL_RULES: tuple[Rule, ...] = (
     GlobalRngRule(),
@@ -791,6 +917,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ChaosRngRule(),
     UnorderedAdjacencyRule(),
     HotPathInstrumentRule(),
+    FluidGranularityRule(),
 )
 
 

@@ -121,6 +121,23 @@ class SweepResult:
     def cache_misses(self) -> int:
         return int(self.summary.get("cache_misses") or 0)
 
+    def require_ok(self, label: str = "sweep") -> "SweepResult":
+        """Raise if any cell failed — for merges that must be complete.
+
+        Sharded fabric runs merge per-shard payloads into one combined
+        result; a silently missing shard would produce a *plausible but
+        wrong* merge (fewer links, fewer detections), so they insist on
+        completeness instead of returning partial data.
+        """
+        if self.errors:
+            failed = ", ".join(
+                f"{key}: {info.get('type', 'error')}({info.get('message', '')})"
+                for key, info in sorted(self.errors.items(), key=lambda kv: str(kv[0]))
+            )
+            raise RuntimeError(f"{label} failed for {len(self.errors)} "
+                               f"cell(s): {failed}")
+        return self
+
 
 def run_sweep(
     jobs: Sequence[Job],

@@ -1,0 +1,12 @@
+"""FCY010-clean: bulk window accounting, segment-level draws only."""
+
+import random
+
+from repro.runtime import stable_seed
+
+
+def window_counts(cursor, t1, p, seed):
+    sent = cursor.advance(t1)
+    rng = random.Random(stable_seed(seed, "fluid-loss", 0))
+    lost = min(sent, int(sent * p + rng.random()))
+    return sent, lost

@@ -1,0 +1,9 @@
+"""FCY010 fixture: shard-spec seeding that bypasses stable_seed."""
+
+import random
+
+
+def plan(links, base_seed):
+    seeds = [random.Random(hash(link)) for link in links]
+    jitter = random.Random()
+    return seeds, jitter

@@ -1,0 +1,10 @@
+"""FCY010-clean: every shard seed derives from stable_seed of the link id."""
+
+import random
+
+from repro.runtime import stable_seed
+
+
+def plan(links, base_seed):
+    return {link: random.Random(stable_seed(base_seed, "fabric-shard", link))
+            for link in links}

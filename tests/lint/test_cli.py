@@ -75,5 +75,11 @@ def test_repo_source_tree_is_lint_clean():
     hiding real ones."""
     result = lint_paths([REPO / "src"])
     assert result.ok, "\n".join(d.render() for d in result.diagnostics)
-    assert result.suppressed == 0
+    # The fluid engine (simulator/fluid.py) carries exactly two sanctioned
+    # per-packet draws behind justified FCY010 suppressions: the jitter
+    # replay that keeps sent counts bit-identical to UdpSource, and the
+    # small-n exact binomial.  Anything beyond those two is a new
+    # suppression hiding a real finding — bump this count only with the
+    # same scrutiny you'd give a baseline entry.
+    assert result.suppressed == 2
     assert result.files_checked > 80

@@ -268,3 +268,59 @@ def test_syntax_error_reported_not_raised():
     findings = lint_source("def broken(:\n", path="broken.py")
     assert [d.code for d in findings] == ["FCY000"]
     assert "does not parse" in findings[0].message
+
+
+class TestFluidGranularity:
+    """FCY010: bulk-only fluid code, stable_seed-only shard seeding."""
+
+    def test_fluid_bad_fixture(self):
+        findings = lint_file(FIXTURES / "fcy010_fluid_bad.py")
+        matching = [d for d in findings if d.code == "FCY010"]
+        assert len(matching) == 2, [d.render() for d in findings]
+        messages = " ".join(d.message for d in matching)
+        assert "per-packet object construction" in messages
+        assert "per-packet RNG draw" in messages
+        for diag in matching:
+            assert diag.hint
+
+    def test_fluid_good_fixture(self):
+        findings = lint_file(FIXTURES / "fcy010_fluid_good.py")
+        assert findings == [], [d.render() for d in findings]
+
+    def test_shard_bad_fixture(self):
+        findings = lint_file(FIXTURES / "fcy010_shard_bad.py")
+        matching = [d for d in findings if d.code == "FCY010"]
+        assert len(matching) == 3, [d.render() for d in findings]
+        messages = " ".join(d.message for d in matching)
+        assert "stable_seed" in messages
+        assert "hash()" in messages
+
+    def test_shard_good_fixture(self):
+        findings = lint_file(FIXTURES / "fcy010_shard_good.py")
+        assert findings == [], [d.render() for d in findings]
+
+    def test_scoped_off_outside_fluid_and_shard_files(self):
+        # The same per-packet pattern in an unrelated file is not FCY010's
+        # business (other rules own their own scopes there).
+        source = (
+            "def emit(rng, n):\n"
+            "    for _ in range(n):\n"
+            "        rng.random()\n"
+        )
+        findings = lint_source(source, path="neutral.py")
+        assert [d.code for d in findings if d.code == "FCY010"] == []
+
+    def test_shipped_fluid_module_is_clean(self):
+        # The in-repo fluid engine carries two sanctioned per-packet
+        # draws behind trailing suppression comments; the module must
+        # lint clean with them honoured.
+        import repro.simulator.fluid as fluid_mod
+
+        findings = lint_file(fluid_mod.__file__)
+        assert findings == [], [d.render() for d in findings]
+
+    def test_shipped_sharding_module_is_clean(self):
+        import repro.fabric.sharding as sharding_mod
+
+        findings = lint_file(sharding_mod.__file__)
+        assert findings == [], [d.render() for d in findings]
