@@ -44,6 +44,8 @@ from ..simulator.packet import MIN_FRAME_BYTES, Packet, PacketKind
 __all__ = [
     "SenderState",
     "ReceiverState",
+    "SENDER_FSM_SPEC",
+    "RECEIVER_FSM_SPEC",
     "SenderStrategy",
     "ReceiverStrategy",
     "FancySender",
@@ -137,6 +139,64 @@ class ReceiverState(enum.Enum):
     SEND_ACK = "send_ack"       # ACK sent, waiting for the first tagged packet
     COUNTING = "counting"
     WAIT_TO_SEND = "wait_to_send"
+
+
+# --------------------------------------------------------------------------
+# Declared transition tables, statically checked against the classes below
+# --------------------------------------------------------------------------
+#
+# ``fancy-repro lint --deep`` extracts the transition graph each FSM
+# class actually implements (abstract interpretation over state guards
+# and ``_set_state`` calls, see ``repro.lint.fsm``) and proves it equals
+# the table declared here — FCY012 fires on drift in either direction,
+# on unreachable states, on non-lifecycle exits from terminal states,
+# and on ``timeout`` edges whose retry path does not run through the
+# capped ``backoff_helper``.  The tables must be *literals* (no enum
+# references): the checker reads them with ``ast.literal_eval`` without
+# importing the module.
+#
+# Transition rows are ``(from, to, label, kind)``; ``"*"`` means "from
+# any state"; kinds are ``event`` (control message / packet), ``timer``
+# (simulated-clock expiry), ``timeout`` (retransmission attempts
+# exhausted — declares a link failure), ``lifecycle`` (teardown or
+# simulated reboot, outside the protocol proper).
+
+SENDER_FSM_SPEC: dict[str, Any] = {
+    "role": "sender",
+    "fsm_class": "FancySender",
+    "state_enum": "SenderState",
+    "initial": "IDLE",
+    "terminal": ("FAILED",),
+    "lifecycle_methods": ("stop", "restart"),
+    "backoff_helper": "_arm_timer",
+    "transitions": (
+        ("IDLE", "WAIT_ACK", "open_session", "event"),
+        ("WAIT_ACK", "COUNTING", "start_ack", "event"),
+        ("COUNTING", "WAIT_REPORT", "session_timer", "timer"),
+        ("WAIT_REPORT", "WAIT_ACK", "report", "event"),
+        ("WAIT_ACK", "FAILED", "rtx_exhausted", "timeout"),
+        ("WAIT_REPORT", "FAILED", "rtx_exhausted", "timeout"),
+        ("*", "IDLE", "teardown", "lifecycle"),
+    ),
+}
+
+RECEIVER_FSM_SPEC: dict[str, Any] = {
+    "role": "receiver",
+    "fsm_class": "FancyReceiver",
+    "state_enum": "ReceiverState",
+    "initial": "IDLE",
+    "terminal": (),
+    "lifecycle_methods": ("stop", "restart"),
+    "backoff_helper": None,
+    "transitions": (
+        ("*", "SEND_ACK", "start_new_session", "event"),
+        ("SEND_ACK", "COUNTING", "first_tagged_packet", "event"),
+        ("SEND_ACK", "WAIT_TO_SEND", "stop_msg", "event"),
+        ("COUNTING", "WAIT_TO_SEND", "stop_msg", "event"),
+        ("WAIT_TO_SEND", "IDLE", "twait_timer", "timer"),
+        ("*", "IDLE", "teardown", "lifecycle"),
+    ),
+}
 
 
 class SenderStrategy(Protocol):

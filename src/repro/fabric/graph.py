@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from typing import Any
 
 from ..simulator.apps import Host
@@ -330,7 +330,7 @@ class FabricNetwork:
             frontier = nxt
         return out
 
-    def _forwarder(self, node: str):
+    def _forwarder(self, node: str) -> Callable[[Any], int | None]:
         """Terminal member of ``node``'s override chain: entry ECMP."""
         entry_ports = self._entry_ports
 

@@ -82,12 +82,12 @@ def plan_shards(link_ids: Sequence[str], n_shards: int,
     return specs
 
 
-def _as_record(record: Iterable[Any]) -> tuple:
+def _as_record(record: Iterable[Any]) -> tuple[Any, ...]:
     """Normalize a detection record (JSON cache round-trips lists)."""
     return tuple(record)
 
 
-def merge_link_results(per_link: Mapping[str, Mapping[str, Any]]) -> dict:
+def merge_link_results(per_link: Mapping[str, Mapping[str, Any]]) -> dict[str, Any]:
     """Deterministically merge per-link probe payloads.
 
     Each payload carries ``detections`` (deployment-contract tuples),

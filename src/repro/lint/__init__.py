@@ -13,11 +13,20 @@ The reproduction's correctness rests on two *runtime*-checked contracts:
 
 ``fancylint`` turns those contracts into *compile-time* checks, the same
 way the P4 compiler statically rejects programs that exceed Tofino's
-stage/SRAM budget.  It is a small AST rule engine with six repo-specific
-rules (FCY001–FCY008, see :mod:`repro.lint.rules`), ruff-style
+stage/SRAM budget.  It is an AST rule engine with per-file repo-specific
+rules (FCY001–FCY013, see :mod:`repro.lint.rules`), ruff-style
 ``file:line:col: CODE message`` diagnostics with fix hints, per-line
-``# fancylint: disable=FCYnnn`` suppressions, and a checked-in baseline
-file for grandfathered findings.
+``# fancylint: disable=FCYnnn`` suppressions (stale ones are reported
+as FCY014), and a checked-in baseline file for grandfathered findings.
+
+On top of the per-file layer, ``--deep`` runs the **whole-program**
+passes over a shared parse-once AST cache: a project call graph
+(:mod:`repro.lint.callgraph`) feeding an interprocedural determinism
+taint analysis (FCY011, :mod:`repro.lint.taint`), and a static FSM
+extractor + model checker (FCY012, :mod:`repro.lint.fsm`) that proves
+the protocol classes implement exactly the transition tables declared
+in ``repro.core.protocol`` and exports them as ``fsm.json`` / Graphviz
+artifacts.
 
 Run it as ``python -m repro.lint [paths...]`` or ``fancy-repro lint``.
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and policy.
@@ -26,19 +35,36 @@ See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and policy.
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineEntry
+from .callgraph import CallGraph, build_callgraph
 from .diagnostics import Diagnostic
-from .engine import LintResult, lint_file, lint_paths, lint_source
+from .engine import (
+    AstCache,
+    LintResult,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .fsm import FsmModel, run_fsm_pass, write_fsm_artifacts
 from .rules import ALL_RULES, Rule, rule_catalog
+from .taint import TaintResult, run_taint
 
 __all__ = [
     "ALL_RULES",
+    "AstCache",
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "Diagnostic",
+    "FsmModel",
     "LintResult",
     "Rule",
+    "TaintResult",
+    "build_callgraph",
     "lint_file",
     "lint_paths",
     "lint_source",
     "rule_catalog",
+    "run_fsm_pass",
+    "run_taint",
+    "write_fsm_artifacts",
 ]

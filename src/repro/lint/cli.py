@@ -3,6 +3,13 @@
 Exit status is 0 when no unbaselined findings remain, 1 otherwise —
 suitable as a CI gate (see the ``lint`` job in
 ``.github/workflows/ci.yml``) and as a pre-commit hook.
+
+``--deep`` adds the whole-program passes (FCY011 determinism taint over
+the project call graph, FCY012 FSM model checking) on top of the
+per-file rules, gated by its own baseline file
+(``.fancylint-deep-baseline.json``) so the shallow gate's baseline
+stays byte-identical; ``--fsm-out DIR`` additionally exports the
+extracted FSM models as ``fsm.json`` + Graphviz ``.dot`` artifacts.
 """
 
 from __future__ import annotations
@@ -13,28 +20,67 @@ import sys
 from collections.abc import Sequence
 
 from .baseline import DEFAULT_BASELINE, Baseline
-from .engine import lint_paths
+from .engine import DEEP_CODES, UNUSED_SUPPRESSION_CODE, lint_paths
 from .rules import ALL_RULES, Rule, rule_catalog
 
-__all__ = ["main"]
+__all__ = ["main", "DEFAULT_DEEP_BASELINE"]
+
+#: findings from ``--deep`` are gated separately from the per-file ones.
+DEFAULT_DEEP_BASELINE = ".fancylint-deep-baseline.json"
+
+#: codes valid in ``--select`` beyond the per-file registry.
+_ENGINE_CODES = DEEP_CODES | {UNUSED_SUPPRESSION_CODE}
+
+_DEEP_CATALOG = (
+    ("FCY011", "determinism-taint",
+     "whole-program (--deep): simulation-scope call site whose callee "
+     "transitively reaches a wall-clock/global-RNG primitive, or a seed "
+     "reaching the sharding/fluid/runtime sinks without stable_seed "
+     "provenance"),
+    ("FCY012", "fsm-model-check",
+     "whole-program (--deep): protocol FSM implementation drifted from "
+     "its declared transition table (undeclared/unimplemented edges, "
+     "unreachable states, exits from terminal states, timeout edges "
+     "without a capped-backoff path)"),
+    ("FCY014", "unused-suppression",
+     "engine-level: a `# fancylint: disable=` directive that never fired "
+     "this run (stale suppression, RUF100-style)"),
+)
 
 
-def _select_rules(spec: str | None) -> tuple[Rule, ...]:
+def _select_codes(spec: str | None) -> frozenset[str] | None:
     if spec is None:
-        return ALL_RULES
-    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
-    known = {rule.code for rule in ALL_RULES}
+        return None
+    wanted = frozenset(code.strip().upper() for code in spec.split(",")
+                       if code.strip())
+    known = {rule.code for rule in ALL_RULES} | _ENGINE_CODES
     unknown = wanted - known
     if unknown:
-        raise SystemExit(f"fancylint: unknown rule code(s): {', '.join(sorted(unknown))}")
-    return tuple(rule for rule in ALL_RULES if rule.code in wanted)
+        raise SystemExit(
+            f"fancylint: unknown rule code(s): {', '.join(sorted(unknown))}")
+    return wanted
+
+
+def _select_rules(codes: frozenset[str] | None) -> tuple[Rule, ...]:
+    if codes is None:
+        return ALL_RULES
+    return tuple(rule for rule in ALL_RULES if rule.code in codes)
+
+
+def _catalog() -> str:
+    lines = [rule_catalog().rstrip("\n")]
+    for code, name, summary in _DEEP_CATALOG:
+        lines.append(f"{code} [{name}] — {summary}")
+        lines.append("    scope: whole program (src/repro)")
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="fancylint",
         description="Repo-specific determinism & simulator-invariant checks "
-                    "for the FANcY reproduction (rules FCY001-FCY006).",
+                    "for the FANcY reproduction (per-file rules FCY001-FCY013; "
+                    "--deep adds whole-program FCY011/FCY012).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -45,8 +91,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
-        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
-        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+        "--deep", action="store_true",
+        help="run the whole-program passes too: call-graph determinism "
+             "taint (FCY011) and FSM model checking (FCY012)",
+    )
+    parser.add_argument(
+        "--fsm-out", metavar="DIR", default=None,
+        help="with --deep: write fsm.json + Graphviz fsm-<role>.dot "
+             "artifacts of the extracted protocol FSMs to DIR",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of grandfathered findings (default: "
+             f"{DEFAULT_BASELINE}, or {DEFAULT_DEEP_BASELINE} with --deep)",
     )
     parser.add_argument(
         "--no-baseline", action="store_true",
@@ -71,18 +128,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        print(rule_catalog())
+        print(_catalog())
         return 0
 
-    rules = _select_rules(args.select)
-    baseline = None if (args.no_baseline or args.write_baseline) else Baseline.load(args.baseline)
-    result = lint_paths(list(args.paths), rules=rules, baseline=baseline)
+    if args.fsm_out is not None and not args.deep:
+        raise SystemExit("fancylint: --fsm-out requires --deep")
+
+    codes = _select_codes(args.select)
+    rules = _select_rules(codes)
+    baseline_path = args.baseline if args.baseline is not None else (
+        DEFAULT_DEEP_BASELINE if args.deep else DEFAULT_BASELINE)
+    baseline = None if (args.no_baseline or args.write_baseline) \
+        else Baseline.load(baseline_path)
+    result = lint_paths(list(args.paths), rules=rules, baseline=baseline,
+                        deep=args.deep, codes=codes)
+
+    if args.fsm_out is not None:
+        from .fsm import write_fsm_artifacts
+        written = write_fsm_artifacts(result.fsm_models, args.fsm_out)
+        if not args.quiet:
+            print(f"fancylint: wrote {len(written)} FSM artifact(s) to "
+                  f"{args.fsm_out}", file=sys.stderr)
 
     if args.write_baseline:
-        Baseline.from_diagnostics(result.diagnostics).save(args.baseline)
+        Baseline.from_diagnostics(result.diagnostics).save(baseline_path)
         if not args.quiet:
             print(f"fancylint: wrote {len(result.diagnostics)} finding(s) "
-                  f"to {args.baseline}")
+                  f"to {baseline_path}")
         return 0
 
     findings = result.parse_errors + result.diagnostics

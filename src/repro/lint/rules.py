@@ -906,6 +906,132 @@ class FluidGranularityRule(Rule):
             name == "stable_seed" or name.endswith(".stable_seed"))
 
 
+# --------------------------------------------------------------------------
+# FCY013 — trace spans opened on a path that can return without closing
+# --------------------------------------------------------------------------
+
+
+def _span_handle_uses(func: ast.AST, name: str) -> list[ast.AST]:
+    """Loads of ``name`` other than its defining store."""
+    uses: list[ast.AST] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id == name and \
+                isinstance(node.ctx, ast.Load):
+            uses.append(node)
+    return uses
+
+
+def _close_span_calls(func: ast.AST, handle: str) -> list[ast.Call]:
+    """``*.close_span(handle, ...)`` calls inside ``func``."""
+    out: list[ast.Call] = []
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close_span"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == handle):
+            out.append(node)
+    return out
+
+
+def _in_finally(func: ast.AST, call: ast.Call) -> bool:
+    """Is ``call`` located inside some ``try/finally`` final body?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if sub is call:
+                        return True
+    return False
+
+
+class SpanBalanceRule(Rule):
+    code = "FCY013"
+    name = "span-balance"
+    summary = (
+        "trace span opened on a path that can return without closing it; "
+        "an abandoned span has no end time, so episode reports and the "
+        "chrome trace render it as running forever"
+    )
+    # All files: span-opening callers live in core/, fabric/ and obs/;
+    # fixtures outside the package opt in automatically (rel_path None).
+    scope = ()
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            found.extend(self._check_function(func, ctx))
+        return found
+
+    def _check_function(self, func: ast.AST,
+                        ctx: FileContext) -> list[Diagnostic]:
+        found: list[Diagnostic] = []
+        # Map statement-level open_span uses: Expr (discarded), Assign.
+        for node in ast.walk(func):
+            if isinstance(node, ast.Expr) and self._is_open_span(node.value):
+                found.append(ctx.diagnostic(
+                    node.value, self.code,
+                    "open_span() result discarded; the span can never be "
+                    "closed",
+                    hint="keep the handle and close_span(handle, t) it, or "
+                         "store it for a later closer",
+                ))
+            elif isinstance(node, ast.Assign) and self._is_open_span(node.value):
+                found.extend(self._check_assignment(func, node, ctx))
+        return found
+
+    @staticmethod
+    def _is_open_span(expr: ast.expr) -> bool:
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "open_span")
+
+    def _check_assignment(self, func: ast.AST, node: ast.Assign,
+                          ctx: FileContext) -> list[Diagnostic]:
+        if len(node.targets) != 1:
+            return []
+        target = node.targets[0]
+        # Stored on an object or into a container: closed elsewhere, by
+        # design (session spans on the FSM, recovery spans keyed by link).
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            return []
+        if not isinstance(target, ast.Name):
+            return []
+        handle = target.id
+        closes = _close_span_calls(func, handle)
+        close_args = {call.args[0] for call in closes}
+        # Escape analysis: a handle used anywhere beyond close_span's
+        # first argument (tuple packing, dict store, passed to a helper,
+        # compared) is handed off — its closer lives elsewhere.
+        for use in _span_handle_uses(func, handle):
+            if use not in close_args:
+                return []
+        if not closes:
+            return [ctx.diagnostic(
+                node.value, self.code,
+                f"span handle `{handle}` is never passed to close_span() "
+                "in this function and does not escape",
+                hint="close_span(handle, t) on every exit path (try/finally)",
+            )]
+        if any(_in_finally(func, call) for call in closes):
+            return []
+        first_close = min(call.lineno for call in closes)
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Return) and \
+                    node.lineno < sub.lineno < first_close:
+                return [ctx.diagnostic(
+                    node.value, self.code,
+                    f"span `{handle}` opened here but the function can "
+                    f"return (line {sub.lineno}) before close_span()",
+                    hint="close the span in a finally block, or before "
+                         "every early return",
+                )]
+        return []
+
+
 #: Registry, in rule-code order.
 ALL_RULES: tuple[Rule, ...] = (
     GlobalRngRule(),
@@ -918,6 +1044,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnorderedAdjacencyRule(),
     HotPathInstrumentRule(),
     FluidGranularityRule(),
+    SpanBalanceRule(),
 )
 
 

@@ -51,7 +51,7 @@ def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
                 )
             line = token.start[0]
             suppressions[line] = suppressions.get(line, frozenset()) | codes
-    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+    except (tokenize.TokenError, IndentationError, SyntaxError):
         pass
     return suppressions
 

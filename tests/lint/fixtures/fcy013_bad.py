@@ -1,0 +1,19 @@
+"""FCY013 violations: trace spans opened and then abandoned."""
+
+
+def discarded(tracer, t):
+    # Handle thrown away at the call site: nobody can ever close it.
+    tracer.open_span("detect", t)
+
+
+def never_closed(tracer, t):
+    span = tracer.open_span("detect", t)
+    return t + 1.0
+
+
+def early_return(tracer, t, bad):
+    span = tracer.open_span("detect", t)
+    if bad:
+        return None
+    tracer.close_span(span, t + 1.0)
+    return None

@@ -1,0 +1,26 @@
+"""Clean span discipline: finally-closed, escaped, and straight-line."""
+
+
+def finally_closed(tracer, t, work):
+    span = tracer.open_span("episode", t)
+    try:
+        return work(t)
+    finally:
+        tracer.close_span(span, t + 1.0)
+
+
+def escapes_to_store(tracer, store, t):
+    # The handle is handed off; its closer lives elsewhere.
+    span = tracer.open_span("episode", t)
+    store["open"] = span
+
+
+def straight_line(tracer, t):
+    span = tracer.open_span("episode", t)
+    tracer.close_span(span, t + 1.0)
+    return True
+
+
+def stored_on_self(tracer, obj, t):
+    # Attribute targets are long-lived state, not a local leak.
+    obj.span = tracer.open_span("episode", t)

@@ -1,0 +1,127 @@
+"""Baseline fingerprint behaviour under edits, moves and renames,
+and `--format json` output ordering."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import Baseline, lint_paths
+from repro.lint.baseline import with_fingerprints
+from repro.lint.cli import main as lint_main
+
+BAD = "import random\nx = random.random()\n"
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def baseline_for(path: Path) -> Baseline:
+    return Baseline.from_diagnostics(lint_paths([path]).diagnostics)
+
+
+def test_baseline_filters_grandfathered(tmp_path):
+    path = write(tmp_path, "old.py", BAD)
+    baseline = baseline_for(path)
+    result = lint_paths([path], baseline=baseline)
+    assert result.diagnostics == []
+    assert result.baselined == 1
+
+
+def test_fingerprint_survives_unrelated_edits(tmp_path):
+    path = write(tmp_path, "old.py", BAD)
+    baseline = baseline_for(path)
+    # Insert unrelated lines above: line numbers shift, the fingerprint
+    # (code, path, stripped line text, occurrence) does not.
+    path.write_text("import random\n\n\n# a comment\nx = random.random()\n",
+                    encoding="utf-8")
+    result = lint_paths([path], baseline=baseline)
+    assert result.diagnostics == []
+    assert result.baselined == 1
+
+
+def test_rename_invalidates_fingerprint(tmp_path):
+    # Policy: a moved/renamed file re-surfaces its grandfathered findings
+    # (the fingerprint includes the path), forcing a re-triage instead of
+    # silently carrying debt to a new location.
+    path = write(tmp_path, "old.py", BAD)
+    baseline = baseline_for(path)
+    renamed = path.with_name("new.py")
+    path.rename(renamed)
+    result = lint_paths([renamed], baseline=baseline)
+    assert result.baselined == 0
+    assert [d.code for d in result.diagnostics] == ["FCY001"]
+
+
+def test_directory_move_invalidates_fingerprint(tmp_path):
+    path = write(tmp_path, "pkg_a/mod.py", BAD)
+    baseline = baseline_for(path)
+    moved = write(tmp_path, "pkg_b/mod.py", BAD)
+    path.unlink()
+    result = lint_paths([moved], baseline=baseline)
+    assert result.baselined == 0
+    assert len(result.diagnostics) == 1
+
+
+def test_editing_the_offending_line_invalidates(tmp_path):
+    path = write(tmp_path, "old.py", BAD)
+    baseline = baseline_for(path)
+    path.write_text("import random\nx = random.random()  # widened\n",
+                    encoding="utf-8")
+    result = lint_paths([path], baseline=baseline)
+    assert result.baselined == 0
+    assert len(result.diagnostics) == 1
+
+
+def test_identical_lines_get_distinct_occurrences(tmp_path):
+    path = write(tmp_path, "twice.py",
+                 "import random\nx = random.random()\ny = random.random()\n")
+    diags = lint_paths([path]).diagnostics
+    assert len(diags) == 2
+    prints = [fp for _d, fp in with_fingerprints(diags)]
+    assert len(set(prints)) == 2
+    # x/y lines differ textually; two *identical* lines also stay distinct
+    path2 = write(tmp_path, "same.py",
+                  "import random\nx = random.random()\nx = random.random()\n")
+    diags2 = lint_paths([path2]).diagnostics
+    prints2 = [fp for _d, fp in with_fingerprints(diags2)]
+    assert len(set(prints2)) == 2
+
+
+def test_baseline_roundtrip_is_deterministic(tmp_path):
+    path = write(tmp_path, "old.py", BAD)
+    baseline = baseline_for(path)
+    f1, f2 = tmp_path / "b1.json", tmp_path / "b2.json"
+    baseline.save(f1)
+    Baseline.load(f1).save(f2)
+    assert f1.read_text() == f2.read_text()
+
+
+class TestJsonOutputOrdering:
+    def findings(self, tmp_path, capsys) -> list[dict]:
+        # two files, multiple findings each, written in non-sorted order
+        write(tmp_path, "zz.py", BAD)
+        write(tmp_path, "aa.py",
+              "import random\ny = random.random()\nz = random.choice([1])\n")
+        rc = lint_main([str(tmp_path), "--no-baseline", "--quiet",
+                        "--format", "json"])
+        assert rc == 1
+        return json.loads(capsys.readouterr().out)
+
+    def test_sorted_by_path_then_line(self, tmp_path, capsys):
+        found = self.findings(tmp_path, capsys)
+        keys = [(f["path"], f["line"], f["col"], f["code"]) for f in found]
+        assert keys == sorted(keys)
+        assert [Path(f["path"]).name for f in found] == ["aa.py", "aa.py", "zz.py"]
+
+    def test_json_runs_are_byte_stable(self, tmp_path, capsys):
+        first = self.findings(tmp_path, capsys)
+        rc = lint_main([str(tmp_path), "--no-baseline", "--quiet",
+                        "--format", "json"])
+        assert rc == 1
+        second = json.loads(capsys.readouterr().out)
+        assert first == second

@@ -22,6 +22,7 @@ EXPECTED_BAD = {
     "FCY007": 3,
     "FCY008": 3,
     "FCY009": 3,
+    "FCY013": 3,
 }
 
 

@@ -1,0 +1,123 @@
+"""FCY014: stale `# fancylint: disable=` directives are themselves findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_stale_code_suppression_flagged(tmp_path):
+    path = write(tmp_path, "clean.py",
+                 "x = 1  # fancylint: disable=FCY001\n")
+    result = lint_paths([path])
+    assert [d.code for d in result.diagnostics] == ["FCY014"]
+    assert "FCY001" in result.diagnostics[0].message
+    assert result.diagnostics[0].line == 1
+
+
+def test_used_suppression_not_flagged(tmp_path):
+    path = write(tmp_path, "used.py",
+                 "import random\nx = random.random()  # fancylint: disable=FCY001\n")
+    result = lint_paths([path])
+    assert result.diagnostics == []
+    assert result.suppressed == 1
+
+
+def test_partially_stale_directive_reports_only_stale_codes(tmp_path):
+    path = write(
+        tmp_path, "mixed.py",
+        "import random\n"
+        "x = random.random()  # fancylint: disable=FCY001,FCY004\n")
+    result = lint_paths([path])
+    assert [d.code for d in result.diagnostics] == ["FCY014"]
+    assert "FCY004" in result.diagnostics[0].message
+    assert "FCY001" not in result.diagnostics[0].message
+
+
+def test_disable_all_stale_flagged_under_full_registry(tmp_path):
+    path = write(tmp_path, "allclean.py",
+                 "x = 1  # fancylint: disable=all\n")
+    result = lint_paths([path])
+    assert [d.code for d in result.diagnostics] == ["FCY014"]
+
+
+def test_disable_all_not_judged_under_select(tmp_path):
+    # A --select run can't prove a disable=all stale: unselected rules
+    # might have fired on that line.
+    from repro.lint.rules import ALL_RULES
+
+    path = write(tmp_path, "allclean.py",
+                 "x = 1  # fancylint: disable=all\n")
+    codes = frozenset({"FCY001", "FCY014"})
+    rules = tuple(r for r in ALL_RULES if r.code in codes)
+    result = lint_paths([path], rules=rules, codes=codes)
+    assert result.diagnostics == []
+
+
+def test_unran_rule_suppression_not_judged(tmp_path):
+    from repro.lint.rules import ALL_RULES
+
+    path = write(tmp_path, "clean.py",
+                 "x = 1  # fancylint: disable=FCY001\n")
+    subset = tuple(r for r in ALL_RULES if r.code != "FCY001")
+    result = lint_paths([path], rules=subset)
+    assert result.diagnostics == []
+
+
+def test_fcy014_itself_suppressible(tmp_path):
+    path = write(tmp_path, "meta.py",
+                 "x = 1  # fancylint: disable=FCY001,FCY014\n")
+    result = lint_paths([path])
+    assert result.diagnostics == []
+    assert result.suppressed == 1
+
+
+def test_check_suppressions_off(tmp_path):
+    path = write(tmp_path, "clean.py",
+                 "x = 1  # fancylint: disable=FCY001\n")
+    result = lint_paths([path], check_suppressions=False)
+    assert result.diagnostics == []
+
+
+def test_deep_barrier_counts_as_used(tmp_path):
+    # An FCY011 barrier on the primitive line is only consumed by the
+    # deep pass: shallow runs don't judge it (FCY011 never ran), deep
+    # runs count it as a used suppression.
+    pkg = tmp_path / "src" / "repro" / "runtime"
+    pkg.mkdir(parents=True)
+    path = write(
+        pkg, "progress.py",
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # fancylint: disable=FCY011 -- log stamp\n")
+    shallow = lint_paths([path])
+    assert shallow.diagnostics == []
+    assert shallow.suppressed == 0
+    deep = lint_paths([path], deep=True)
+    assert deep.diagnostics == []
+    assert deep.suppressed == 1
+
+
+def test_stale_deep_barrier_flagged_under_deep(tmp_path):
+    # Under --deep FCY011 ran, so a barrier on a non-primitive line is
+    # provably stale.
+    pkg = tmp_path / "src" / "repro" / "runtime"
+    pkg.mkdir(parents=True)
+    path = write(pkg, "progress.py",
+                 "x = 1  # fancylint: disable=FCY011\n")
+    deep = lint_paths([path], deep=True)
+    assert [d.code for d in deep.diagnostics] == ["FCY014"]
+
+
+def test_codes_filter_excluding_fcy014(tmp_path):
+    path = write(tmp_path, "clean.py",
+                 "x = 1  # fancylint: disable=FCY001\n")
+    result = lint_paths([path], codes=frozenset({"FCY001"}))
+    assert result.diagnostics == []
