@@ -1,0 +1,174 @@
+"""Benchmark: degraded-mode serve supervisor (docs/ROBUSTNESS.md).
+
+Runs a short paper-timer serve soak in process and records:
+
+* **link-seconds/sec** — simulated link-seconds supervised per
+  wall-second (links × horizon / wall), the serve scaling figure;
+* **sessions/sec** — completed FANcY counting sessions per wall-second
+  across all supervised links;
+* **ladder transition latency** — mean microseconds per
+  :class:`DegradationLadder` rung transition (tight-loop microbench).
+
+Writes ``results/service_bench.txt`` (human-readable) and
+``results/BENCH_service.json`` (machine-readable).  CI's serve-soak job
+uploads the JSON and gates on a >30% regression against the committed
+record (``test_service_regression_gate``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.service.ladder import DegradationLadder, LadderState
+from repro.service.soak import ServeConfig, run_serve
+
+#: Quick configuration shared by the writer and the gate, so the
+#: committed record and the live measurement are comparable: paper
+#: timers (50 ms dedicated sessions) on a 4-ring, 20 simulated
+#: seconds, 20% control grey from t=2.
+QUICK = ServeConfig(
+    seed=7, ring_size=4, duration_s=20.0, health_every_s=10.0,
+    supervise_every_s=0.5, churn_every_s=8.0, universe_size=60, top_n=20,
+    n_flows=6, total_rate_bps=2_000_000.0, dedicated_session_s=0.05,
+    tree_session_s=0.2, twait_s=0.015, rtx_timeout_s=0.05,
+    declare_grace_s=1.0, grey_start_s=2.0, trace_window_s=2.0)
+
+#: Ladder microbench: rung cycles per measurement round.
+LADDER_CYCLES = 20_000
+
+
+class _StubSender:
+    def __init__(self):
+        self.impairment_taps = []
+        self.on_exhaustion = None
+        self.on_link_failure = None
+        self.last_verified_snapshot = None
+        self.last_verified_at = None
+        self.absorbed_exhaustions = 0
+
+
+class _StubMonitor:
+    def __init__(self):
+        self.telemetry = None
+        self.dedicated_sender = _StubSender()
+        self.tree_sender = _StubSender()
+
+    def flagged_entries(self):
+        return []
+
+    def clear_dedicated_flags(self, entries):
+        return []
+
+
+def _timed_serve(rounds: int = 2):
+    """Best-of-N serve run; returns (result, wall_s)."""
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run_serve(QUICK)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[1]:
+            best = (result, wall)
+    return best
+
+
+def _ladder_transition_us(rounds: int = 3) -> float:
+    """Mean microseconds per ladder rung transition (best of N)."""
+    best = None
+    for _ in range(rounds):
+        ladder = DegradationLadder(_StubMonitor(), link_id="bench")
+        t0 = time.perf_counter()
+        now = 0.0
+        for _ in range(LADDER_CYCLES):
+            ladder.on_signal("rtx", now)          # HEALTHY -> USE_LAST_STATE
+            ladder.on_signal("saturated", now)    # -> FREEZE
+            ladder.on_signal("recovered", now)    # -> HEALTHY
+            now += 1.0
+        wall = time.perf_counter() - t0
+        assert ladder.state is LadderState.HEALTHY
+        assert ladder.transitions == 3 * LADDER_CYCLES
+        per_transition = wall / (3 * LADDER_CYCLES)
+        if best is None or per_transition < best:
+            best = per_transition
+    return best * 1e6
+
+
+def _record(result, wall_s: float, ladder_us: float) -> dict:
+    links = len(result.links)
+    sessions = sum(result.sessions_completed.values())
+    return {
+        "schema": "bench-service/1",
+        "links": links,
+        "sim_s": QUICK.duration_s,
+        "wall_s": round(wall_s, 2),
+        "link_seconds_per_wall_s": round(
+            links * QUICK.duration_s / wall_s, 1),
+        "sessions_per_wall_s": round(sessions / wall_s, 1),
+        "ladder_transition_us": round(ladder_us, 3),
+        "sessions_completed": sessions,
+        "absorbed_exhaustions": result.absorbed_exhaustions,
+        "events_processed": result.events_processed,
+    }
+
+
+def test_service_regression_gate():
+    """CI regression gate against the committed ``BENCH_service.json``.
+
+    Skipped unless ``BENCH_SERVICE_BASELINE`` points at the committed
+    record (the serve-soak job sets it).  Defined before the writer
+    test so it always reads the checked-in record.  Gates:
+
+    * supervised link-seconds per wall-second >= 0.7x committed;
+    * ladder transition latency <= 1.3x committed.
+    """
+    baseline_path = os.environ.get("BENCH_SERVICE_BASELINE")
+    if not baseline_path:
+        pytest.skip("BENCH_SERVICE_BASELINE not set (CI-only gate)")
+    committed = json.loads(pathlib.Path(baseline_path).read_text())
+
+    result, wall = _timed_serve()
+    ladder_us = _ladder_transition_us()
+    live = _record(result, wall, ladder_us)
+
+    floor = 0.7 * committed["link_seconds_per_wall_s"]
+    assert live["link_seconds_per_wall_s"] >= floor, (
+        f"serve supervision throughput regressed >30%: "
+        f"{live['link_seconds_per_wall_s']} link-s/s live vs "
+        f"{committed['link_seconds_per_wall_s']} committed")
+    ceiling = 1.3 * committed["ladder_transition_us"]
+    assert live["ladder_transition_us"] <= ceiling, (
+        f"ladder transition latency regressed >30%: "
+        f"{live['ladder_transition_us']} us live vs "
+        f"{committed['ladder_transition_us']} us committed")
+
+
+def test_service_bench(save_artifact, results_dir):
+    result, wall = _timed_serve()
+    ladder_us = _ladder_transition_us()
+    record = _record(result, wall, ladder_us)
+    (results_dir / "BENCH_service.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    save_artifact("service_bench", "\n".join([
+        "serve supervisor — degraded-mode soak throughput", "",
+        f"  {record['links']} links x {record['sim_s']:g}s sim "
+        f"in {record['wall_s']}s wall "
+        f"({record['link_seconds_per_wall_s']:,} link-s/s)",
+        f"  {record['sessions_completed']:,} sessions "
+        f"({record['sessions_per_wall_s']:,} sessions/s), "
+        f"{record['absorbed_exhaustions']} absorbed exhaustions, "
+        f"{record['events_processed']:,} events",
+        f"  ladder transition: {record['ladder_transition_us']:.2f} us",
+    ]))
+
+    # Shape assertions: the soak must genuinely exercise degraded mode.
+    assert result.ok, result.violations
+    assert result.breaches == {}
+    assert all(state != "declared"
+               for state in result.ladder_states.values())
+    assert sum(result.sessions_completed.values()) > 0

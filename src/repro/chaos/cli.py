@@ -4,8 +4,12 @@ Exit status is 0 when every seed satisfies every invariant, 1 otherwise.
 On failure the first failing seed's schedule is shrunk to a minimal
 reproducer and written to ``--reproducer`` (JSON; CI uploads it as an
 artifact).  ``--replay FILE`` re-runs a previously written reproducer,
-and ``--regression NAME`` runs a named protocol-regression fixture —
-which is *expected* to fail, proving the harness has teeth.
+and ``--regression NAME`` runs a named protocol-regression fixture.
+Each fixture carries an expectation (``REGRESSION_EXPECTATIONS``):
+``violate`` fixtures are *expected* to fail, proving the harness has
+teeth (CI negates their exit status); ``clean`` fixtures pin robustness
+behaviour — e.g. ``control-plane-grey`` must run violation-free — and
+CI runs them plain.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from typing import Optional, Sequence
 from repro.runtime import RuntimeContext
 
 from .harness import (
+    REGRESSION_EXPECTATIONS,
     REGRESSIONS,
     SoakConfig,
     SoakResult,
@@ -112,8 +117,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.regression is not None:
         config, schedule = regression_scenario(args.regression, base)
-        print(f"regression fixture: {args.regression} "
-              f"(expected to violate an invariant)")
+        expectation = REGRESSION_EXPECTATIONS.get(args.regression, "violate")
+        expected = ("expected to violate an invariant"
+                    if expectation == "violate"
+                    else "expected to run clean")
+        print(f"regression fixture: {args.regression} ({expected})")
         result = run_soak(config, schedule)
         _print_result(result.to_dict(), args.verbose)
         if not result.ok:

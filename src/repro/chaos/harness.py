@@ -57,6 +57,7 @@ __all__ = [
     "soak_worker",
     "regression_scenario",
     "REGRESSIONS",
+    "REGRESSION_EXPECTATIONS",
 ]
 
 #: Seconds after a LINK_DOWN declaration before the harness's stand-in
@@ -306,8 +307,43 @@ def _stale_session_scenario(config: SoakConfig) -> tuple[SoakConfig,
     return config, schedule
 
 
+def _control_plane_grey_scenario(config: SoakConfig) -> tuple[SoakConfig,
+                                                              list[FaultSpec]]:
+    """Persistent asymmetric loss on the control channel only.
+
+    20% of B→A control messages (ACKs, counter Reports) vanish while the
+    data plane stays perfect — the grey scenario the degradation ladder
+    exists for (docs/ROBUSTNESS.md).  Unlike ``stale-session`` this
+    fixture is expected to come back *clean*: lost responses are covered
+    by the capped-backoff retransmit budget, any exhaustion that does
+    slip through is attributable to the control-class fault (I3), and no
+    loss flag may appear because no data packet was dropped.  CI runs it
+    without negation — a violation here is a real protocol regression.
+    """
+    config = dataclasses.replace(
+        config,
+        regression="control-plane-grey",
+        duration_s=max(config.duration_s, 8.0),
+    )
+    schedule = [
+        FaultSpec("control_loss", "reverse",
+                  {"rate": 0.2, "start": 0.3, "end": None}, index=0),
+    ]
+    return config, schedule
+
+
 REGRESSIONS = {
     "stale-session": _stale_session_scenario,
+    "control-plane-grey": _control_plane_grey_scenario,
+}
+
+#: What each named fixture is expected to produce: ``"violate"`` fixtures
+#: prove the harness has teeth (CI negates their exit status),
+#: ``"clean"`` fixtures pin hard-won robustness behaviour (CI runs them
+#: plain — a violation is a regression).
+REGRESSION_EXPECTATIONS = {
+    "stale-session": "violate",
+    "control-plane-grey": "clean",
 }
 
 

@@ -48,7 +48,9 @@ __all__ = [
     "check_attribution",
     "check_detection",
     "check_conservation",
+    "check_pool",
     "check_integrity",
+    "LinkInvariantObserver",
 ]
 
 
@@ -159,6 +161,7 @@ def check_attribution(
     monitor: Any,
     dedicated: list[Any],
     best_effort: list[Any],
+    since: int = 0,
 ) -> list[Violation]:
     """Every failure report must be explained by a recently active fault.
 
@@ -166,6 +169,11 @@ def check_attribution(
     reordering, duplication, checksum-detected corruption — must never
     surface as a loss flag, and loss must never surface without a
     loss-class fault scoped to the flagged entry.
+
+    ``since`` makes the check incremental: only reports from that log
+    index onward are examined (reports are append-only), so an online
+    observer can attribute each checkpoint's new reports as they land
+    instead of rescanning the whole log at teardown.
     """
     out: list[Violation] = []
     dedicated_set = set(dedicated)
@@ -174,7 +182,7 @@ def check_attribution(
     if tree is not None:
         for entry in list(dedicated) + list(best_effort):
             leaf_entries.setdefault(tree.hash_path(entry), []).append(entry)
-    for report in log.reports:
+    for report in log.reports[since:]:
         lo, hi = report.time - ATTRIBUTION_SLACK_S, report.time
         if report.kind is FailureKind.LINK_DOWN:
             if not any(s.is_control_class() and s.active_in(lo, hi)
@@ -278,6 +286,18 @@ def check_conservation(links: list[Any], now: float) -> list[Violation]:
                 f"link {link.name}: delivered={stats.delivered} != "
                 f"tx({stats.tx_packets}) - failure({stats.dropped_failure}) "
                 f"- chaos({stats.dropped_chaos}) + dup({dup}) = {expect}"))
+    out.extend(check_pool(now))
+    return out
+
+
+def check_pool(now: float) -> list[Violation]:
+    """Pool half of I5: only parked, unique packets on the free list.
+
+    Unlike the per-link arithmetic — which only balances after a full
+    drain — these hold at *every* instant, so an online observer can
+    evaluate them mid-run.
+    """
+    out: list[Violation] = []
     if POOL.enabled:
         free = POOL.free
         if any(p.pid != -1 for p in free):
@@ -297,13 +317,21 @@ def check_conservation(links: list[Any], now: float) -> list[Violation]:
 # -- I6: corruption integrity ---------------------------------------------------
 
 
-def check_integrity(monitor: Any, chaos_models: list[Any],
-                    now: float) -> list[Violation]:
-    """Delivered corrupted control messages == checksum rejections."""
+def check_integrity(monitor: Any, chaos_models: list[Any], now: float,
+                    allow_in_flight: bool = False) -> list[Violation]:
+    """Delivered corrupted control messages == checksum rejections.
+
+    With ``allow_in_flight`` the check relaxes to ``rejected <=
+    corrupted``: mid-run, a corrupted message the chaos layer already
+    counted may still be sitting in a link's delivery queue, but the
+    FSMs can never have rejected *more* than chaos delivered.
+    """
     rejected = sum(f.rejected_corrupt
                    for f in _sender_fsms(monitor) + _receiver_fsms(monitor))
     corrupted = sum(m.corrupted_control for m in chaos_models)
-    if rejected != corrupted:
+    broken = rejected > corrupted if allow_in_flight \
+        else rejected != corrupted
+    if broken:
         return [Violation(
             "I6", now,
             f"corruption accounting mismatch: chaos delivered {corrupted} "
@@ -311,3 +339,93 @@ def check_integrity(monitor: Any, chaos_models: list[Any],
             "— either a corrupted message was acted on, or a clean one "
             "was rejected")]
     return []
+
+
+# -- online supervision ---------------------------------------------------------
+
+
+class LinkInvariantObserver:
+    """Incremental I1–I6 evaluation for one monitored link.
+
+    The teardown-time checkers above scan whole logs and assume a fully
+    drained network; this observer re-expresses them as an online
+    protocol for the serve supervisor (docs/ROBUSTNESS.md):
+
+    * :meth:`tick` — called between engine events while traffic still
+      flows.  Evaluates liveness (I1), session monotonicity (I2), the
+      attribution of every report that landed since the previous tick
+      (I3, via ``check_attribution(since=...)``), the pool half of
+      conservation (I5), and in-flight-tolerant corruption accounting
+      (I6).
+    * :meth:`final` — called once after wind-down and drain.  Evaluates
+      the tail of I3, eventual detection (I4), full per-link
+      conservation (I5) and exact corruption equality (I6).
+
+    Every breach is appended to :attr:`breaches` and reported through
+    the optional ``on_breach`` callback (the supervisor uses it to meter
+    ``fancy_invariant_breach_total``).
+    """
+
+    def __init__(
+        self,
+        monitor: Any,
+        schedule: list[FaultSpec],
+        dedicated: list[Any],
+        best_effort: list[Any],
+        links: list[Any],
+        chaos_models: list[Any],
+        link_id: str = "link",
+        on_breach: Any | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.schedule = schedule
+        self.dedicated = list(dedicated)
+        self.best_effort = list(best_effort)
+        self.links = list(links)
+        self.chaos_models = list(chaos_models)
+        self.link_id = link_id
+        self.on_breach = on_breach
+        self.tracker = SessionTracker(monitor)
+        self.breaches: list[Violation] = []
+        self._log_pos = 0
+        self.ticks = 0
+
+    def update_entries(self, dedicated: list[Any],
+                       best_effort: list[Any]) -> None:
+        """Track an entry-churn swap so attribution scopes stay correct."""
+        self.dedicated = list(dedicated)
+        self.best_effort = list(best_effort)
+
+    def _record(self, found: list[Violation]) -> list[Violation]:
+        self.breaches.extend(found)
+        if self.on_breach is not None:
+            for violation in found:
+                self.on_breach(self.link_id, violation)
+        return found
+
+    def tick(self, now: float) -> list[Violation]:
+        """Continuously-valid invariants, evaluated mid-run."""
+        self.ticks += 1
+        found = check_liveness(self.monitor, now)
+        found += self.tracker.check(self.monitor, now)
+        found += check_attribution(
+            self.monitor.log, self.schedule, self.monitor,
+            self.dedicated, self.best_effort, since=self._log_pos)
+        self._log_pos = len(self.monitor.log.reports)
+        found += check_pool(now)
+        found += check_integrity(self.monitor, self.chaos_models, now,
+                                 allow_in_flight=True)
+        return self._record(found)
+
+    def final(self, now: float, horizon: float) -> list[Violation]:
+        """Drain-time invariants, evaluated once after wind-down."""
+        found = check_attribution(
+            self.monitor.log, self.schedule, self.monitor,
+            self.dedicated, self.best_effort, since=self._log_pos)
+        self._log_pos = len(self.monitor.log.reports)
+        found += check_detection(
+            self.monitor.log, self.schedule, self.monitor,
+            self.dedicated, self.best_effort, horizon)
+        found += check_conservation(self.links, now)
+        found += check_integrity(self.monitor, self.chaos_models, now)
+        return self._record(found)

@@ -110,6 +110,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .chaos.cli import main as chaos_main
 
         return chaos_main(args_list[1:])
+    if args_list and args_list[0] == "serve":
+        # `fancy-repro serve [...]` delegates to the degraded-mode soak
+        # service CLI (see docs/ROBUSTNESS.md).
+        from .service.cli import main as serve_main
+
+        return serve_main(args_list[1:])
     if args_list and args_list[0] == "report":
         # `fancy-repro report [...]` delegates to the observability CLI:
         # the fabric health dashboard and trace-schema validation
@@ -123,7 +129,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Regenerate the FANcY paper's tables and figures "
                     "(run `fancy-repro lint` for the static-analysis gate, "
                     "`fancy-repro chaos` for the fault-injection soak, "
-                    "`fancy-repro report` for the fabric health dashboard).",
+                    "`fancy-repro serve` for the degraded-mode soak "
+                    "service, `fancy-repro report` for the fabric health "
+                    "dashboard).",
     )
     parser.add_argument(
         "experiment",

@@ -18,7 +18,9 @@ ChainTopology` detects failures anywhere on the path.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import dataclasses
+
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -36,6 +38,7 @@ from .protocol import (
     DEFAULT_TWAIT,
     FancyReceiver,
     FancySender,
+    SenderState,
 )
 from .zooming import TreeReceiverStrategy, TreeSenderStrategy
 
@@ -162,6 +165,9 @@ class FancyLinkMonitor:
         self.dedicated_strategy: DedicatedSenderCounters | None = None
         self.output_flags = HashPathFlags(seed=cfg.seed)
 
+        #: Deferred high-priority entry swap (see :meth:`update_entries`).
+        self._pending_entries: list[Any] | None = None
+
         if cfg.enable_dedicated:
             self._build_dedicated()
         if cfg.enable_tree:
@@ -202,6 +208,10 @@ class FancyLinkMonitor:
             report_size_bytes=report_size,
             telemetry=self.telemetry,
         )
+        # Deferred entry swaps apply at the verified-Report boundary — the
+        # only instant the dedicated tag-index space is not live on the
+        # wire (see update_entries).
+        self.dedicated_sender.impairment_taps.append(self._dedicated_signal)
 
     def _build_tree(self) -> None:
         cfg = self.config
@@ -450,6 +460,102 @@ class FancyLinkMonitor:
                 "chaos_switch_restarts_total",
                 "Simulated switch restarts injected by the chaos subsystem",
                 monitor=self._id, side=side).inc()
+
+    # -- entry churn ---------------------------------------------------------------------------
+
+    def _dedicated_signal(self, signal: str, now: float) -> None:
+        """Impairment-tap hook on the dedicated sender (entry churn)."""
+        if signal == "recovered" and self._pending_entries is not None:
+            self._apply_entry_update()
+
+    def update_entries(self, entries: Sequence[Any]) -> bool:
+        """Replace the dedicated high-priority entry set (entry churn).
+
+        The operator's top-N prefix set rotates over time; this swaps the
+        dedicated counter arrays (both sides), carrying over the output
+        flags of entries that persist across the swap.  Mid-session the
+        tag-index space is live on the wire, so the swap is **deferred**
+        to the dedicated sender's next verified-Report boundary (its
+        ``"recovered"`` impairment signal) — the only instant with no
+        in-flight tagged packets or unverified snapshot; a monitor whose
+        dedicated FSM is idle or failed swaps immediately.  Calling again
+        before the swap applied replaces the pending set.
+
+        Does not compose with :meth:`attach_congestion_guard` (the guard
+        wraps the strategy the swap replaces).  Returns True when the
+        swap applied immediately, False when deferred.
+        """
+        if self.dedicated_sender is None or self.dedicated_strategy is None:
+            raise RuntimeError(
+                f"monitor {self._id} has no dedicated counters; "
+                "update_entries only rotates an existing high-priority set")
+        self._pending_entries = list(entries)
+        if self.dedicated_sender.state in (SenderState.IDLE, SenderState.FAILED):
+            self._apply_entry_update()
+            return True
+        return False
+
+    @property
+    def pending_entry_update(self) -> bool:
+        """Whether an entry swap is waiting for a verified-Report boundary."""
+        return self._pending_entries is not None
+
+    def _apply_entry_update(self) -> None:
+        entries = self._pending_entries
+        assert entries is not None
+        self._pending_entries = None
+        old = self.dedicated_strategy
+        sender = self.dedicated_sender
+        receiver = self.dedicated_receiver
+        assert old is not None and sender is not None and receiver is not None
+        n = len(entries)
+        new = DedicatedSenderCounters(
+            entries,
+            on_detection=self._on_dedicated_detection,
+            entry_of=self._entry_of,
+        )
+        for entry in entries:
+            if old.owns(entry) and old.flags[old.index[entry]]:
+                new.flags[new.index[entry]] = True
+        new.sessions_completed = old.sessions_completed
+        self.dedicated_strategy = new
+        sender.strategy = new
+        receiver.strategy = DedicatedReceiverCounters(n)
+        receiver.report_size_bytes = max(MIN_FRAME_BYTES, (n * 32) // 8 + 30)
+        self.config = dataclasses.replace(self.config,
+                                          high_priority=list(entries))
+        if self._timeline is not None:
+            self._timeline.record(self.sim.now, self._id, "entry_update",
+                                  entries=n)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "fancy_entry_updates_total",
+                "Dedicated entry-set swaps applied (entry churn)",
+                monitor=self._id).inc()
+
+    def clear_dedicated_flags(self, entries: Iterable[Any]) -> list[Any]:
+        """Clear dedicated output flags for ``entries``; return those cleared.
+
+        Degraded-mode re-validation (docs/ROBUSTNESS.md): flags held
+        through a FREEZE window that the next live verified window did
+        not re-raise are retracted here.  Unknown or unflagged entries
+        are ignored.  Tree Bloom-filter flags are *not* individually
+        clearable (a Bloom filter has no deletion) — tree flags held
+        through a FREEZE stay flagged until operator reset.
+        """
+        strategy = self.dedicated_strategy
+        if strategy is None:
+            return []
+        cleared: list[Any] = []
+        for entry in entries:
+            idx = strategy.index.get(entry)
+            if idx is not None and strategy.flags[idx]:
+                strategy.flags[idx] = False
+                cleared.append(entry)
+        if cleared and self._timeline is not None:
+            self._timeline.record(self.sim.now, self._id, "flags_cleared",
+                                  entries=len(cleared))
+        return cleared
 
     # -- convenience queries -------------------------------------------------------------------
 

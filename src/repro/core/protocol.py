@@ -176,6 +176,8 @@ SENDER_FSM_SPEC: dict[str, Any] = {
         ("WAIT_REPORT", "WAIT_ACK", "report", "event"),
         ("WAIT_ACK", "FAILED", "rtx_exhausted", "timeout"),
         ("WAIT_REPORT", "FAILED", "rtx_exhausted", "timeout"),
+        ("WAIT_ACK", "IDLE", "exhaustion_absorbed", "timeout"),
+        ("WAIT_REPORT", "IDLE", "exhaustion_absorbed", "timeout"),
         ("*", "IDLE", "teardown", "lifecycle"),
     ),
 }
@@ -307,6 +309,27 @@ class FancySender:
         #: after this session's ``begin_session`` reset and before the
         #: receiver's Report snapshot (taken T_wait after the Stop).
         self.window_taps: list[Callable[[float, float, int], None]] = []
+        #: Control-channel impairment observers: ``tap(signal, now)`` with
+        #: signal one of ``"rtx"`` (a retransmission fired), ``"saturated"``
+        #: (the backoff factor hit ``backoff_cap``), ``"corrupt"`` (a
+        #: checksum-failed response triggered a re-request), ``"absorbed"``
+        #: (an exhaustion was absorbed instead of declared) and
+        #: ``"recovered"`` (a verified Report closed the session).  This is
+        #: the signal stream the degradation ladder
+        #: (:mod:`repro.service.ladder`) steps on.
+        self.impairment_taps: list[Callable[[str, float], None]] = []
+        #: Optional exhaustion-absorption hook: consulted when the attempt
+        #: budget runs out.  Returning True reopens a fresh session instead
+        #: of declaring the link dead (degraded-mode operation); ``None``
+        #: or False keeps the §4.1 behaviour.
+        self.on_exhaustion: Callable[[str, float], bool] | None = None
+        #: Last *verified* Report snapshot and its arrival time — the
+        #: state a supervisor reuses while the control channel is impaired
+        #: (the ladder's USE_LAST_STATE rung).
+        self.last_verified_snapshot: Any = None
+        self.last_verified_at: float | None = None
+        #: Exhaustions absorbed via :attr:`on_exhaustion` (vs declared).
+        self.absorbed_exhaustions = 0
         self._counting_since: float | None = None
         #: Hardening counters (always maintained; mirrored to telemetry
         #: when attached).  ``rejected_corrupt`` counts checksum failures,
@@ -358,18 +381,73 @@ class FancySender:
     def _send_start(self) -> None:
         self.attempts += 1
         if self.attempts > self.max_attempts:
-            self._declare_link_failure()
+            if self._may_absorb_exhaustion():
+                self._absorb_exhaustion()
+            else:
+                self._declare_link_failure()
             return
+        if self.attempts > 1:
+            self._signal("saturated"
+                         if 2 ** (self.attempts - 1) >= self.backoff_cap
+                         else "rtx")
         self._emit(PacketKind.FANCY_START, {})
         self._arm_timer(self._send_start)
 
     def _send_stop(self) -> None:
         self.attempts += 1
         if self.attempts > self.max_attempts:
-            self._declare_link_failure()
+            if self._may_absorb_exhaustion():
+                self._absorb_exhaustion()
+            else:
+                self._declare_link_failure()
             return
+        if self.attempts > 1:
+            self._signal("saturated"
+                         if 2 ** (self.attempts - 1) >= self.backoff_cap
+                         else "rtx")
         self._emit(PacketKind.FANCY_STOP, {})
         self._arm_timer(self._send_stop)
+
+    def _signal(self, signal: str) -> None:
+        """Notify the impairment taps (degradation-ladder hooks)."""
+        for tap in self.impairment_taps:
+            tap(signal, self.sim.now)
+
+    def _may_absorb_exhaustion(self) -> bool:
+        """Whether the supervisor wants this exhaustion absorbed.
+
+        Pure predicate — the actual reopen lives in
+        :meth:`_absorb_exhaustion` so the FSM extraction sees the declare
+        and absorb arms under the same refined state context.
+        """
+        if self.on_exhaustion is None:
+            return False
+        return self.on_exhaustion(self.fsm_id, self.sim.now)
+
+    def _absorb_exhaustion(self) -> None:
+        """Reopen a fresh session instead of declaring the link dead.
+
+        Degraded-mode operation (docs/ROBUSTNESS.md): the supervisor has
+        judged the link recently-verified enough that one exhausted
+        control exchange is better explained by control-channel loss than
+        by link death.  The aborted window's counts are discarded exactly
+        as in :meth:`_declare_link_failure`; unlike :meth:`restart` this
+        is not a reboot, so ``restarts`` stays untouched.
+        """
+        self.absorbed_exhaustions += 1
+        self._cancel_timer()
+        self._trace_close_session()
+        self._counting_since = None
+        self.attempts = 0
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "fancy_exhaustions_absorbed_total",
+                "RTX exhaustions absorbed by the degradation ladder "
+                "instead of declared as link failures",
+                fsm=self.fsm_id).inc()
+        self._signal("absorbed")
+        self._set_state(SenderState.IDLE)
+        self._open_session()
 
     def _emit(self, kind: PacketKind, extra: dict[str, Any],
               size: int = MIN_FRAME_BYTES) -> None:
@@ -478,6 +556,7 @@ class FancySender:
         if not verify_payload(payload):
             self.rejected_corrupt += 1
             self._count_rejected("corrupt")
+            self._signal("corrupt")
             if self.state is SenderState.WAIT_ACK:
                 self._send_start()
             elif self.state is SenderState.WAIT_REPORT:
@@ -498,6 +577,8 @@ class FancySender:
             self._timer = self.sim.schedule(self.session_duration, self._close_session)
         elif kind is PacketKind.FANCY_REPORT and self.state is SenderState.WAIT_REPORT:
             self._cancel_timer()
+            self.last_verified_snapshot = payload.get("snapshot")
+            self.last_verified_at = self.sim.now
             self.strategy.end_session(payload.get("snapshot"), self.session_id)
             self.sessions_completed += 1
             self._trace_close_session()
@@ -509,6 +590,10 @@ class FancySender:
                     "fancy_sessions_completed_total",
                     "Counting sessions completed (Report received)",
                     fsm=self.fsm_id).inc()
+            # "recovered" fires between the verified-Report bookkeeping and
+            # the next session's open: supervision hooks (ladder reset,
+            # deferred entry swaps) run against a closed, verified window.
+            self._signal("recovered")
             self._open_session()
 
     def _close_session(self) -> None:

@@ -89,6 +89,18 @@ class FabricDeployment:
         for monitor in self.monitors.values():
             monitor.stop()
 
+    def update_entries(self, entries: Iterable[Any]) -> dict[str, bool]:
+        """Rotate the dedicated entry set on every monitor (entry churn).
+
+        Per-link swap timing follows :meth:`~repro.core.detector.
+        FancyLinkMonitor.update_entries` — each monitor defers to its own
+        next verified-Report boundary.  Returns, per link, whether the
+        swap applied immediately (True) or was deferred (False).
+        """
+        wanted = list(entries)
+        return {link_id: monitor.update_entries(wanted)
+                for link_id, monitor in self.monitors.items()}
+
     # -- queries ----------------------------------------------------------
 
     def monitor(self, a: str, b: str) -> FancyLinkMonitor:

@@ -2,15 +2,24 @@
 
 :class:`FabricHealthReport` condenses what a :class:`~repro.fabric.
 deployment.FabricDeployment` knows after (or during) a run into the
-operator's four-state ladder, worst evidence wins:
+operator's status lattice, worst evidence wins:
 
-``rerouted``   the controller installed a repair path around this link
-``flagged``    the monitor holds an active flag (dedicated entry, tree
-               leaf, or a LINK_DOWN declaration) nobody rerouted yet
-``degraded``   protocol hardening fired (corrupt/stale rejections),
-               a switch restarted, or the telemetry timeline truncated —
-               the link works but something is off or under-observed
-``healthy``    none of the above
+``rerouted``        the controller installed a repair path around this
+                    link
+``declared``        LINK_DOWN stands — the protocol declared the link
+                    dead (or its degradation ladder walked to DECLARED)
+``flagged``         the monitor holds an active flag (dedicated entry
+                    or tree leaf) nobody rerouted yet
+``freeze``          the degradation ladder froze window advancement:
+                    control-channel impairment persisted and flags are
+                    held for re-validation (docs/ROBUSTNESS.md)
+``use_last_state``  the ladder is serving the last verified counter
+                    snapshot while the control channel recovers
+``degraded``        protocol hardening fired (corrupt/stale rejections),
+                    a switch restarted, an invariant breached, or the
+                    telemetry timeline truncated — the link works but
+                    something is off or under-observed
+``healthy``         none of the above
 
 Detection latency is derived from traces, not wall-math: each episode
 whose root cause is a ``fault`` span contributes ``first flag span −
@@ -34,8 +43,9 @@ from ..core.output import FailureKind
 
 __all__ = ["STATUSES", "LinkHealth", "FabricHealthReport"]
 
-#: Status ladder, benign to severe (worst evidence wins).
-STATUSES = ("healthy", "degraded", "flagged", "rerouted")
+#: Status lattice, benign to severe (worst evidence wins).
+STATUSES = ("healthy", "degraded", "use_last_state", "freeze", "flagged",
+            "declared", "rerouted")
 
 
 @dataclass
@@ -61,6 +71,12 @@ class LinkHealth:
     unattributed_detections: int = 0
     traces: int = 0
     spans: int = 0
+    #: degradation-ladder rung (``None`` when no ladder is attached).
+    ladder_state: str | None = None
+    #: exhaustions the ladder absorbed instead of declaring LINK_DOWN.
+    absorbed_exhaustions: int = 0
+    #: online invariant breaches on this link, per invariant id.
+    invariant_breaches: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -80,6 +96,9 @@ class LinkHealth:
             "unattributed_detections": self.unattributed_detections,
             "traces": self.traces,
             "spans": self.spans,
+            "ladder_state": self.ladder_state,
+            "absorbed_exhaustions": self.absorbed_exhaustions,
+            "invariant_breaches": dict(self.invariant_breaches),
         }
 
 
@@ -122,13 +141,19 @@ class FabricHealthReport:
 
     @classmethod
     def from_deployment(cls, deployment: Any, controller: Any = None,
-                        sim_time: float | None = None
+                        sim_time: float | None = None,
+                        ladders: dict[str, Any] | None = None,
+                        breaches: dict[str, dict[str, int]] | None = None,
                         ) -> "FabricHealthReport":
         """Score every monitored link of a fabric deployment.
 
         ``controller`` (a :class:`~repro.fabric.reroute.
         FabricRerouteController`) contributes the rerouted status;
-        without one, flags stay at ``flagged``.
+        without one, flags stay at ``flagged``.  ``ladders`` maps link
+        id to its :class:`~repro.service.ladder.DegradationLadder` (the
+        serve supervisor's degraded-mode rungs become statuses);
+        ``breaches`` maps link id to per-invariant breach counts from
+        the online supervision layer.
         """
         rerouted_by_link: dict[str, list[str]] = {}
         if controller is not None:
@@ -170,6 +195,15 @@ class FabricHealthReport:
                 traces=n_traces,
                 spans=n_spans,
             )
+            ladder = (ladders or {}).get(link_id)
+            if ladder is not None:
+                health.ladder_state = ladder.state.value
+                health.absorbed_exhaustions = sum(
+                    fsm.absorbed_exhaustions
+                    for fsm in (monitor.dedicated_sender, monitor.tree_sender)
+                    if fsm is not None)
+            health.invariant_breaches = dict(
+                (breaches or {}).get(link_id, {}))
             health.status = _score(health)
             links.append(health)
 
@@ -208,7 +242,14 @@ class FabricHealthReport:
     def summary(self) -> dict[str, Any]:
         latencies = [lat for link in self.links
                      for lat in link.detection_latencies]
+        breach_totals: dict[str, int] = {}
+        for link in self.links:
+            for invariant, n in link.invariant_breaches.items():
+                breach_totals[invariant] = breach_totals.get(invariant, 0) + n
         return {
+            "invariant_breaches": dict(sorted(breach_totals.items())),
+            "absorbed_exhaustions": sum(link.absorbed_exhaustions
+                                        for link in self.links),
             "sim_time": self.sim_time,
             "links": len(self.links),
             "status": self.counts(),
@@ -256,16 +297,27 @@ class FabricHealthReport:
         if summary["unattributed_detections"]:
             lines.append(f"!! {summary['unattributed_detections']} "
                          "unattributed detection(s) — check FP sentinels")
+        if summary["invariant_breaches"]:
+            counts = " ".join(f"{k}={v}" for k, v in
+                              summary["invariant_breaches"].items())
+            lines.append(f"!! invariant breaches: {counts}")
         return "\n".join(lines)
 
 
 def _score(health: LinkHealth) -> str:
     if health.rerouted_entries:
         return "rerouted"
+    if health.link_down or health.ladder_state == "declared":
+        return "declared"
     if (health.flagged_entries or health.flagged_leaf_paths
-            or health.link_down or health.detections):
+            or health.detections):
         return "flagged"
+    if health.ladder_state == "freeze":
+        return "freeze"
+    if health.ladder_state == "use_last_state":
+        return "use_last_state"
     if (health.rejected_corrupt or health.rejected_stale or health.restarts
-            or health.timeline_truncated or health.unattributed_detections):
+            or health.timeline_truncated or health.unattributed_detections
+            or health.invariant_breaches):
         return "degraded"
     return "healthy"

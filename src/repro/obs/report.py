@@ -32,12 +32,16 @@ _CAT_COLORS = {
     "detect": "#c0392b",
     "reroute": "#27874f",
     "chaos": "#777777",
+    "ladder": "#8e6fa8",
 }
 
 _STATUS_COLORS = {
     "healthy": "#27874f",
     "degraded": "#d9822b",
+    "use_last_state": "#b8a53c",
+    "freeze": "#8e6fa8",
     "flagged": "#c0392b",
+    "declared": "#7b1f1f",
     "rerouted": "#4a6fa5",
 }
 
@@ -93,10 +97,25 @@ def _tiles(summary: dict[str, Any]) -> str:
         ("unattributed (FP)", summary.get("unattributed_detections", 0)),
         ("sim time", f"{summary.get('sim_time', 0.0):.2f} s"),
     ]
+    breaches = summary.get("invariant_breaches") or {}
+    tiles.append(("invariant breaches", sum(breaches.values())))
+    if summary.get("absorbed_exhaustions"):
+        tiles.append(("absorbed exhaustions",
+                      summary["absorbed_exhaustions"]))
     cells = "".join(
         f'<div class="tile"><div class="v">{_esc(v)}</div>'
         f'<div class="k">{_esc(k)}</div></div>' for k, v in tiles)
-    return f'<div class="tiles">{cells}</div>'
+    # one colour-coded tile per status rung — the lattice at a glance
+    status_cells = "".join(
+        f'<div class="tile" style="border-top:3px solid '
+        f'{_STATUS_COLORS.get(status, "#555")}">'
+        f'<div class="v">{_esc(n)}</div>'
+        f'<div class="k">{_esc(status)}</div></div>'
+        for status, n in (summary.get("status") or {}).items())
+    out = f'<div class="tiles">{cells}</div>'
+    if status_cells:
+        out += f'<div class="tiles">{status_cells}</div>'
+    return out
 
 
 def _topology_table(topology: list[dict[str, Any]]) -> str:

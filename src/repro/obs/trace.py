@@ -64,9 +64,11 @@ __all__ = [
 #: ``reroute``   repair-path install (instant) and recovery — install →
 #:               first packet steered (durative)
 #: ``chaos``     fault-model side events, e.g. switch restarts (instant)
+#: ``ladder``    a degradation-ladder rung change (instant) — the
+#:               degraded-mode supervision layer (docs/ROBUSTNESS.md)
 CATEGORIES = (
     "cause", "fsm", "protocol", "control", "counters", "zoom", "detect",
-    "reroute", "chaos",
+    "reroute", "chaos", "ladder",
 )
 
 

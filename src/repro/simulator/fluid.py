@@ -45,6 +45,7 @@ from typing import Any
 from ..runtime.jobs import stable_seed
 from .failures import (
     CompositeFailure,
+    ControlPlaneFailure,
     EntryLossFailure,
     GrayFailure,
     IntermittentFailure,
@@ -283,6 +284,12 @@ def loss_profile(model: Any) -> _LossProfile:
         return _WindowProfile(model.start_time,
                               math.inf if model.end_time is None else model.end_time,
                               model.loss_rate, None)
+    if isinstance(model, ControlPlaneFailure):
+        # Control-plane loss never touches data packets (its ``matches``
+        # rejects everything non-control), so fluid *data* flows cross it
+        # loss-free — the control messages themselves stay discrete and
+        # feel the failure on the wire.
+        return _NullProfile()
     if isinstance(model, IntermittentFailure):
         return _IntermittentProfile(loss_profile(model.inner), model.period_s,
                                     model.on_fraction, model.phase_s)
@@ -407,18 +414,15 @@ class _MonitorBinding:
         self.monitor = monitor
         self.profile = profile
         self.loss_seed = loss_seed
-        dedicated = monitor.dedicated_strategy
-        self._ded: list[_BoundFlow] = []
-        self._tree: list[_BoundFlow] = []
-        for flow in flows:
-            bound = _BoundFlow(flow, legs)
-            if dedicated is not None and dedicated.owns(flow.entry):
-                self._ded.append(bound)
-            else:
-                self._tree.append(bound)
-        if self._ded and monitor.dedicated_sender is not None:
+        # Tier membership (dedicated vs tree) is decided per window from
+        # the monitor's *current* dedicated strategy, not frozen at bind
+        # time: entry churn (FancyLinkMonitor.update_entries) legitimately
+        # moves entries between tiers mid-run, and each flow's cursor
+        # simply continues from wherever its last counted window ended.
+        self._bound = [_BoundFlow(flow, legs) for flow in flows]
+        if self._bound and monitor.dedicated_sender is not None:
             monitor.dedicated_sender.window_taps.append(self._dedicated_window)
-        if self._tree and monitor.tree_sender is not None:
+        if self._bound and monitor.tree_sender is not None:
             monitor.tree_sender.window_taps.append(self._tree_window)
 
     # -- window accounting -------------------------------------------------
@@ -467,8 +471,10 @@ class _MonitorBinding:
         monitor = self.monitor
         sender = monitor.dedicated_strategy
         receiver = monitor.dedicated_receiver.strategy
-        for bound in self._ded:
+        for bound in self._bound:
             entry = bound.flow.entry
+            if not sender.owns(entry):
+                continue
             if monitor.entry_is_flagged(entry):
                 # Flagged entries return to the discrete plane: the
                 # rerouting application owns their traffic from here on.
@@ -486,8 +492,11 @@ class _MonitorBinding:
         monitor = self.monitor
         strategy = monitor.tree_strategy
         receiver = monitor.tree_receiver.strategy
-        for bound in self._tree:
+        dedicated = monitor.dedicated_strategy
+        for bound in self._bound:
             entry = bound.flow.entry
+            if dedicated is not None and dedicated.owns(entry):
+                continue
             if monitor.entry_is_flagged(entry):
                 continue
             sent, lost = self._window_counts(bound, t0, t1, "tree",

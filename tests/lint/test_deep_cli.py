@@ -106,4 +106,8 @@ def test_repo_source_tree_is_deep_clean():
     # barriers (run-log + cache timestamps).  Bump only with a written
     # justification on the primitive line.
     assert result.suppressed == 7
-    assert len(result.fsm_models) == 2
+    # sender + receiver (core/protocol.py) + degradation ladder
+    # (service/ladder.py, docs/ROBUSTNESS.md §6)
+    assert len(result.fsm_models) == 3
+    assert sorted(m.spec.role for m in result.fsm_models) == [
+        "ladder", "receiver", "sender"]

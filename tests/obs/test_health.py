@@ -37,16 +37,37 @@ class TestScoreLadder:
         health = self._health(rejected_corrupt=1,
                               flagged_entries=["'victim'"])
         assert _score(health) == "flagged"
-        assert _score(self._health(link_down=True)) == "flagged"
         assert _score(self._health(flagged_leaf_paths=2)) == "flagged"
+
+    def test_link_down_is_declared(self):
+        assert _score(self._health(link_down=True)) == "declared"
+        assert _score(self._health(ladder_state="declared")) == "declared"
+
+    def test_ladder_rungs_between_degraded_and_flagged(self):
+        assert _score(self._health(ladder_state="use_last_state")) \
+            == "use_last_state"
+        assert _score(self._health(ladder_state="freeze")) == "freeze"
+        # flags outrank a frozen ladder; DECLARE outranks flags
+        assert _score(self._health(ladder_state="freeze",
+                                   flagged_entries=["'v'"])) == "flagged"
+        assert _score(self._health(ladder_state="declared",
+                                   flagged_entries=["'v'"])) == "declared"
+        # a healthy ladder never masks degraded evidence
+        assert _score(self._health(ladder_state="healthy",
+                                   rejected_corrupt=1)) == "degraded"
+
+    def test_invariant_breaches_degrade(self):
+        assert _score(self._health(invariant_breaches={"I1": 2})) \
+            == "degraded"
 
     def test_reroute_beats_everything(self):
         health = self._health(flagged_entries=["'victim'"],
                               rerouted_entries=["'victim'"])
         assert _score(health) == "rerouted"
 
-    def test_ladder_order(self):
-        assert STATUSES == ("healthy", "degraded", "flagged", "rerouted")
+    def test_lattice_order(self):
+        assert STATUSES == ("healthy", "degraded", "use_last_state",
+                            "freeze", "flagged", "declared", "rerouted")
 
 
 class TestTraceDerivedStats:

@@ -168,12 +168,17 @@ class TestLossProfile:
 
     @pytest.mark.parametrize("model", [
         PacketPropertyFailure(lambda p: p.size == 64, 1.0),
-        ControlPlaneFailure(1.0),
         object(),
     ])
     def test_unsupported_models_fail_loudly(self, model):
         with pytest.raises(FluidModelError):
             loss_profile(model)
+
+    def test_control_plane_failure_is_lossless_for_data(self):
+        # Control-plane loss only drops control messages, which stay
+        # discrete; the fluid data profile across such a link is null.
+        profile = loss_profile(ControlPlaneFailure(1.0))
+        assert profile.segments("e", 0.0, 10.0) == []
 
 
 class TestBinomial:
